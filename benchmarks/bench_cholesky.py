@@ -1,0 +1,90 @@
+"""E11 — TRSM inside its consumer: distributed Cholesky factorization.
+
+The paper motivates TRSM via LU/Cholesky.  This bench factors SPD systems
+on the simulated machine and shows the paper's idea (selective inversion of
+the small triangular blocks) paying off *inside* the factorization: the
+panel-solve latency drops by ~the panel width, and the total factorization
+time on a latency-bound machine follows.
+"""
+
+from repro.analysis import format_table
+from repro.factor import cholesky_cost, cholesky_factor
+from repro.machine import HARDWARE_PRESETS, Machine
+from repro.util.randmat import random_spd
+
+
+def test_panel_strategy_contrast(benchmark, emit):
+    n, sp, block = 96, 2, 8
+    params = HARDWARE_PRESETS["latency_bound"]
+    A = random_spd(n, seed=0)
+
+    def run():
+        rows = []
+        for panel in ("substitution", "inversion"):
+            machine = Machine(sp * sp, params=params)
+            grid = machine.grid(sp, sp)
+            cholesky_factor(machine, grid, A, block=block, panel=panel)
+            cp = machine.critical_path()
+            rows.append(
+                [
+                    panel,
+                    machine.phase_cost("panel_solve").S,
+                    cp.S,
+                    cp.W,
+                    machine.time() * 1e3,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "E11_cholesky_panels",
+        format_table(
+            ["panel strategy", "S panel_solve", "S total", "W total", "time ms"],
+            rows,
+            title=f"Cholesky panel solves: substitution vs inversion "
+            f"(n={n}, b={block}, p={sp * sp}, latency-bound)",
+        ),
+    )
+    sub, inv = rows[0], rows[1]
+    assert inv[1] < sub[1] / 3  # panel latency collapses
+    assert inv[4] < sub[4]  # and total simulated time follows
+
+
+def test_model_sweep(benchmark, emit):
+    def sweep():
+        rows = []
+        for p in (16, 256, 4096):
+            for b in (16, 64):
+                s_sub = cholesky_cost(4096, b, p, panel="substitution").S
+                s_inv = cholesky_cost(4096, b, p, panel="inversion").S
+                rows.append([p, b, s_sub, s_inv, s_sub / s_inv])
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "E11_cholesky_model",
+        format_table(
+            ["p", "b", "S substitution", "S inversion", "ratio"],
+            rows,
+            title="Cholesky latency model sweep (n=4096)",
+        ),
+    )
+    # the advantage tracks the panel width
+    by_b = {(r[0], r[1]): r[4] for r in rows}
+    assert by_b[(256, 64)] > 2 * by_b[(256, 16)]
+
+
+def test_factorization_correct_under_benchmark(benchmark):
+    import numpy as np
+
+    n, sp = 48, 2
+    A = random_spd(n, seed=1)
+
+    def run():
+        machine = Machine(sp * sp)
+        grid = machine.grid(sp, sp)
+        return cholesky_factor(machine, grid, A, block=8).to_global()
+
+    G = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.allclose(G @ G.T, A, atol=1e-8 * np.linalg.norm(A))

@@ -1,0 +1,127 @@
+"""E0 — Section II-C1 collective-cost table.
+
+The paper's preliminaries tabulate the butterfly-collective costs that all
+later analysis builds on.  This bench regenerates the table from the
+simulator (real payloads, measured counters) and asserts each formula
+exactly — the foundation every other experiment rests on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.machine import CostParams, Machine
+from repro.machine.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    bcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+def _measure(op, g, words):
+    m = Machine(g, params=UNIT)
+    group = list(range(g))
+    if op == "allgather":
+        allgather(m, group, {r: np.ones(words // g) for r in group})
+    elif op == "scatter":
+        scatter(m, group, 0, [np.ones(words // g) for _ in group])
+    elif op == "gather":
+        gather(m, group, 0, {r: np.ones(words // g) for r in group})
+    elif op == "reduce_scatter":
+        reduce_scatter(m, group, {r: np.ones(words) for r in group})
+    elif op == "bcast":
+        bcast(m, group, 0, np.ones(words))
+    elif op == "reduce":
+        reduce(m, group, 0, {r: np.ones(words) for r in group})
+    elif op == "allreduce":
+        allreduce(m, group, {r: np.ones(words) for r in group})
+    elif op == "alltoall":
+        blocks = {r: [np.ones(words // g) for _ in range(g)] for r in group}
+        alltoall(m, group, blocks)
+    else:  # pragma: no cover
+        raise ValueError(op)
+    return m.critical_path()
+
+
+def _expected(op, g, words):
+    lg = math.ceil(math.log2(g)) if g > 1 else 0
+    one = 1 if g > 1 else 0
+    if op in ("allgather", "scatter", "gather"):
+        return lg, words * one, 0
+    if op == "reduce_scatter":
+        return lg, words * one, words * one
+    if op == "bcast":
+        return 2 * lg, 2 * words * one, 0
+    if op in ("reduce", "allreduce"):
+        return 2 * lg, 2 * words * one, words * one
+    if op == "alltoall":
+        return lg, words / 2 * lg, 0
+    raise ValueError(op)
+
+
+OPS = [
+    "allgather",
+    "scatter",
+    "gather",
+    "reduce_scatter",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "alltoall",
+]
+
+
+def test_collective_cost_table(benchmark, emit):
+    g, words = 8, 64
+
+    def build():
+        return {op: _measure(op, g, words) for op in OPS}
+
+    measured = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for op in OPS:
+        cp = measured[op]
+        s, w, f = _expected(op, g, words)
+        rows.append([op, s, cp.S, w, cp.W, f, cp.F])
+        assert cp.S == pytest.approx(s), op
+        assert cp.W == pytest.approx(w), op
+        assert cp.F == pytest.approx(f), op
+    emit(
+        "E0_collective_costs",
+        format_table(
+            ["collective", "S paper", "S sim", "W paper", "W sim", "F paper", "F sim"],
+            rows,
+            title=f"Section II-C1 collective costs (p={g}, n={words} words)",
+        ),
+    )
+
+
+def test_costs_scale_with_group_size(benchmark):
+    """Latency grows one message round per doubling; words stay flat for
+    the one-phase collectives (butterfly property)."""
+
+    def sweep():
+        return [(g, _measure("allgather", g, 64)) for g in (2, 4, 8, 16)]
+
+    pairs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for g, cp in pairs:
+        assert cp.S == math.log2(g)
+        assert cp.W == 64
+
+
+def test_singleton_groups_free(benchmark):
+    def run():
+        return [_measure(op, 1, 16) for op in ("allgather", "bcast", "allreduce")]
+
+    cps = benchmark(run)
+    for cp in cps:
+        assert cp.S == 0 and cp.W == 0

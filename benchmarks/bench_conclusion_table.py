@@ -1,0 +1,162 @@
+"""E1 — Section IX conclusion table: standard vs new method, all regimes.
+
+Regenerates the S/W/F comparison rows from the closed-form models across a
+machine-size sweep (to p = 2^20, as only a cost table can), spot-checks the
+models against the simulator at feasible sizes, and asserts the table's
+qualitative content:
+
+* 3D regime: identical W, 2x F, latency improvement growing ~ p^{2/3};
+* 2D regime: log(p) bandwidth gain, latency gain at scale;
+* 1D regime: identical W and F, the new method paying one extra log in S.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_power_law, format_table
+from repro.machine import CostParams, Machine
+from repro.trsm import it_inv_trsm_global, rec_trsm_global
+from repro.trsm.cost_model import conclusion_row
+from repro.tuning.regimes import classify_trsm
+from repro.util.randmat import random_dense, random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+PS = [2**e for e in (6, 10, 14, 18, 20)]
+
+
+def _cases(p: int) -> dict[str, tuple[int, int]]:
+    k = 64
+    return {
+        "1D": (k, 4 * k * p),
+        "2D": (8 * k * int(p**0.5), k),
+        "3D": (4 * k, k),
+    }
+
+
+def _build_table():
+    rows = []
+    for p in PS:
+        for regime, (n, k) in _cases(p).items():
+            assert classify_trsm(n, k, p).value == regime
+            row = conclusion_row(n, k, p)
+            std, new = row["standard"], row["new"]
+            rows.append(
+                [
+                    regime,
+                    n,
+                    k,
+                    p,
+                    std.S,
+                    new.S,
+                    std.S / new.S,
+                    std.W / new.W,
+                    std.F / new.F,
+                ]
+            )
+    return rows
+
+
+def test_conclusion_table_regenerates(benchmark, emit):
+    rows = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    table = format_table(
+        ["regime", "n", "k", "p", "S std", "S new", "S ratio", "W ratio", "F ratio"],
+        rows,
+        title="Section IX conclusion table (model sweep)",
+    )
+    emit("E1_conclusion_table", table)
+
+    # Qualitative assertions per regime at the largest p.
+    by_regime = {r[0]: r for r in rows if r[3] == PS[-1]}
+    # 3D: same W, half F (new does 2x flops), big latency win
+    assert by_regime["3D"][7] == pytest.approx(1.0)
+    assert by_regime["3D"][8] == pytest.approx(0.5)
+    assert by_regime["3D"][6] > 100
+    # 2D: log(p) bandwidth gain, latency win at scale
+    assert by_regime["2D"][7] == pytest.approx(np.log2(PS[-1]))
+    assert by_regime["2D"][6] > 1
+    # 1D: identical W/F, standard wins latency by ~log p
+    assert by_regime["1D"][7] == pytest.approx(1.0)
+    assert by_regime["1D"][8] == pytest.approx(1.0)
+    assert by_regime["1D"][6] < 1
+
+
+def test_3d_latency_ratio_grows_like_p_two_thirds(benchmark):
+    n, k = 256, 64
+    ps = [2**e for e in range(8, 21, 2)]
+
+    def ratios():
+        return [
+            conclusion_row(n, k, p)["standard"].S / conclusion_row(n, k, p)["new"].S
+            for p in ps
+        ]
+
+    values = benchmark(ratios)
+    exponent, _ = fit_power_law([float(p) for p in ps], values)
+    # Theta((n/k)^{1/6} p^{2/3}) modulo log factors
+    assert 0.55 < exponent < 0.8, exponent
+
+
+def test_measured_conclusion_table(benchmark, emit):
+    """A fully *measured* analog of the Section IX table: both algorithms
+    run on the simulator at machine-feasible sizes in each regime."""
+
+    cases = [
+        ("3D", 128, 32, 16, dict(p1=2, p2=4, n0=32), (4, 4)),
+        ("3D", 64, 16, 64, dict(p1=4, p2=4, n0=16), (8, 8)),
+        ("1D", 8, 512, 16, dict(p1=1, p2=16, n0=8), (1, 16)),
+        ("2D", 96, 4, 16, dict(p1=4, p2=1, n0=24), (4, 4)),
+    ]
+
+    def run():
+        rows = []
+        for regime, n, k, p, it_kw, rec_shape in cases:
+            L = random_lower_triangular(n, seed=0)
+            B = random_dense(n, k, seed=1)
+            m_it = Machine(p, params=UNIT)
+            it_inv_trsm_global(m_it, L, B, **it_kw)
+            m_rec = Machine(p, params=UNIT)
+            rec_trsm_global(m_rec, L, B, grid=m_rec.grid(*rec_shape))
+            a, b = m_it.critical_path(), m_rec.critical_path()
+            rows.append(
+                [regime, n, k, p, b.S, a.S, b.S / a.S, b.W / a.W, b.F / a.F]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis import format_table
+
+    emit(
+        "E1_measured_table",
+        format_table(
+            [
+                "regime", "n", "k", "p",
+                "S rec", "S it", "S ratio", "W ratio", "F ratio",
+            ],
+            rows,
+            title="Measured (simulated) standard-vs-new comparison",
+        ),
+    )
+    # in the 3D rows the iterative method wins latency, more so at larger p
+    r3 = [r for r in rows if r[0] == "3D"]
+    assert all(r[6] > 1 for r in r3)
+    assert r3[1][6] > r3[0][6]
+
+
+def test_simulator_agrees_with_table_shape(benchmark):
+    """At machine-feasible sizes the simulated S ordering matches the table."""
+    n, k, p = 128, 32, 16
+    L = random_lower_triangular(n, seed=0)
+    B = random_dense(n, k, seed=1)
+
+    def run():
+        m_it = Machine(p, params=UNIT)
+        it_inv_trsm_global(m_it, L, B, p1=2, p2=4, n0=32)
+        m_rec = Machine(p, params=UNIT)
+        rec_trsm_global(m_rec, L, B, grid=m_rec.grid(4, 4), n0=8)
+        return m_it.critical_path().S, m_rec.critical_path().S
+
+    s_it, s_rec = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = conclusion_row(n, k, p)
+    model_says_new_wins = row["new"].S < row["standard"].S
+    assert model_says_new_wins and (s_it < s_rec)

@@ -1,0 +1,60 @@
+"""E2 — Figure 1: one-/two-/three-dimensional layout by relative sizes.
+
+Regenerates the regime map over a logarithmic (n/k, p) grid and asserts its
+structure: the 3D band sits between 1D (k >> n p) and 2D (n >> k sqrt(p)),
+is monotone in the n/k ratio for fixed p, and widens as p grows.
+"""
+
+from repro.analysis import regime_map, render_regime_map
+from repro.tuning.regimes import TrsmRegime
+
+
+ORDER = {
+    TrsmRegime.ONE_LARGE: 0,
+    TrsmRegime.THREE_LARGE: 1,
+    TrsmRegime.TWO_LARGE: 2,
+}
+
+
+def test_figure1_regime_map(benchmark, emit):
+    rmap = benchmark.pedantic(
+        lambda: regime_map((-8, 8), (4, 65536)), rounds=1, iterations=1
+    )
+    emit("E2_figure1_regime_map", render_regime_map(rmap))
+
+    # all three regimes appear
+    seen = {r for row in rmap.labels for r in row}
+    assert seen == set(ORDER)
+
+    # monotone 1D -> 3D -> 2D in the ratio for every machine size
+    for j in range(len(rmap.ps)):
+        col = [ORDER[rmap.labels[i][j]] for i in range(len(rmap.ratios))]
+        assert col == sorted(col)
+
+    # the 3D band widens with p (more rows classified 3D at larger p)
+    width = [
+        sum(1 for i in range(len(rmap.ratios)) if rmap.labels[i][j] is TrsmRegime.THREE_LARGE)
+        for j in range(len(rmap.ps))
+    ]
+    assert width == sorted(width)
+    assert width[-1] > width[0]
+
+
+def test_regime_boundaries_match_thresholds(benchmark):
+    """The map's transitions sit exactly at n = 4k/p and n = 4k sqrt(p)."""
+    from repro.tuning.regimes import classify_trsm, regime_boundaries
+
+    def check():
+        for k in (16, 256):
+            for p in (16, 1024):
+                lo, hi = regime_boundaries(k, p)
+                if lo > 2:  # a 1D point exists only when 4k/p > 1
+                    assert (
+                        classify_trsm(int(lo) - 1, k, p) is TrsmRegime.ONE_LARGE
+                    )
+                assert classify_trsm(int(lo) + 1, k, p) is TrsmRegime.THREE_LARGE
+                assert classify_trsm(int(hi) - 1, k, p) is TrsmRegime.THREE_LARGE
+                assert classify_trsm(int(hi) + 1, k, p) is TrsmRegime.TWO_LARGE
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,103 @@
+"""E5 — Section V-B: recursive triangular inversion costs.
+
+Checks the paper's two headline properties of RecTriInv on the simulator:
+
+* synchronization is polylogarithmic in p (O(log^2 p)) — in stark contrast
+  to the p^{2/3}-type latency of recursive TRSM;
+* bandwidth tracks the nu-formula ``nu (n^2/(8 p1^2) + n^2/(2 p1 p2))``
+  within a constant factor, and the implementation recurrence within a
+  tighter one.
+
+The model sweep extends to p = 2^20.
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.inversion import rec_tri_inv_cost, rec_tri_inv_recurrence
+from repro.inversion.rec_tri_inv import rec_tri_inv_global
+from repro.machine import CostParams, Machine
+from repro.util.checking import backward_error
+from repro.util.randmat import random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+def _invert(n, p, seed=0):
+    sp = int(math.isqrt(p))
+    machine = Machine(p, params=UNIT)
+    grid = machine.grid(sp, sp)
+    L = random_lower_triangular(n, seed=seed)
+    inv = rec_tri_inv_global(machine, grid, L, base_n=4)
+    assert backward_error(L, inv.to_global()) < 1e-11
+    return machine.critical_path()
+
+
+def test_inversion_costs_vs_models(benchmark, emit):
+    def sweep():
+        rows = []
+        for n, p in [(32, 4), (64, 16), (64, 64), (128, 16)]:
+            cp = _invert(n, p)
+            sp = math.isqrt(p)
+            closed = rec_tri_inv_cost(n, sp, 1)  # p1 = sqrt(p), p2 = 1 view
+            recur = rec_tri_inv_recurrence(n, p)
+            rows.append(
+                [n, p, cp.S, cp.W, cp.F, closed.W, recur.W, recur.F]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E5_inversion_costs",
+        format_table(
+            ["n", "p", "S sim", "W sim", "F sim", "W closed", "W recur", "F recur"],
+            rows,
+            title="RecTriInv simulated vs Section V-B models",
+        ),
+    )
+    for n, p, s, w, f, w_closed, w_recur, f_recur in rows:
+        assert w <= 8 * w_closed + 1 and w_closed <= 8 * w + 1, (n, p)
+        assert w <= 4 * w_recur + 1 and w_recur <= 4 * w + 1, (n, p)
+        assert f <= 4 * f_recur + 1 and f_recur <= 4 * f + 1, (n, p)
+
+
+def test_synchronization_polylog(benchmark):
+    """S stays under a log^2 p envelope and its growth tracks log^2, i.e.
+    S(p) / log2(p)^2 must not grow with p (at small p a pure power-law fit
+    of log^2 data is misleading — a log^2 curve looks like p^0.8 between
+    p = 4 and p = 64)."""
+
+    def sweep():
+        return [(p, _invert(64, p).S) for p in (4, 16, 64)]
+
+    pairs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    normalized = [s / math.log2(p) ** 2 for p, s in pairs]
+    assert max(normalized) <= 1.6 * normalized[0], normalized
+    for p, s in pairs:
+        assert s <= 40 * math.log2(p) ** 2
+
+
+def test_model_sweep_contrast_with_trsm(benchmark, emit):
+    """Model view of the paper's motivation: inversion syncs ~log^2 p while
+    the recursive TRSM baseline syncs polynomially."""
+    from repro.trsm.cost_model import recursive_cost_3d
+
+    def sweep():
+        rows = []
+        for p in [2**e for e in range(4, 21, 4)]:
+            inv = rec_tri_inv_cost(4096, math.isqrt(p), 1)
+            rt = recursive_cost_3d(4096, 1024, p)
+            rows.append([p, inv.S, rt.S, rt.S / max(inv.S, 1e-12)])
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "E5_inversion_vs_trsm_latency",
+        format_table(
+            ["p", "S RecTriInv", "S Rec-TRSM", "ratio"],
+            rows,
+            title="Synchronization: inversion (log^2 p) vs recursive TRSM",
+        ),
+    )
+    ratios = [r[3] for r in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,74 @@
+"""E15 — pivoting latency in distributed LU (added experiment).
+
+Classical partial pivoting synchronizes once per column
+(``Theta(n log p)`` rounds); CALU-style tournament pivoting selects each
+panel's pivots with one log-depth reduction (``Theta((n/b) log p)``) —
+the same message-count collapse the paper engineers for TRSM, appearing
+in the other factorization its introduction names.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.factor import lu_factor_distributed
+from repro.machine import CostParams, HARDWARE_PRESETS, Machine
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+def test_pivot_latency_contrast(benchmark, emit):
+    n, sp, b = 64, 4, 8
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+
+    def run():
+        rows = []
+        for pivoting in ("partial", "tournament"):
+            machine = Machine(sp * sp, params=UNIT)
+            grid = machine.grid(sp, sp)
+            L, U, perm = lu_factor_distributed(
+                machine, grid, A, block=b, pivoting=pivoting
+            )
+            err = np.linalg.norm(A[perm] - L.to_global() @ U.to_global())
+            assert err < 1e-9 * np.linalg.norm(A)
+            rows.append(
+                [
+                    pivoting,
+                    machine.phase_cost("pivot_search").S,
+                    machine.critical_path().S,
+                    machine.critical_path().W,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "E15_lu_pivoting",
+        format_table(
+            ["pivoting", "S pivot_search", "S total", "W total"],
+            rows,
+            title=f"LU pivoting latency (n={n}, b={b}, p={sp * sp})",
+        ),
+    )
+    partial, tournament = rows
+    assert partial[1] > 4 * tournament[1]
+    assert tournament[2] < partial[2]
+
+
+def test_total_time_on_latency_bound_machine(benchmark):
+    n, sp, b = 64, 4, 8
+    rng = np.random.default_rng(1)
+    A = rng.standard_normal((n, n))
+    params = HARDWARE_PRESETS["latency_bound"]
+
+    def run():
+        times = {}
+        for pivoting in ("partial", "tournament"):
+            machine = Machine(sp * sp, params=params)
+            grid = machine.grid(sp, sp)
+            lu_factor_distributed(machine, grid, A, block=b, pivoting=pivoting)
+            times[pivoting] = machine.time()
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["tournament"] < times["partial"]

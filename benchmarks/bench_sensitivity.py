@@ -1,0 +1,74 @@
+"""E12 — machine sensitivity: the alpha/beta crossover map.
+
+Turns the paper's asymptotic comparison into a decision rule: for each
+(n/k, p) cell, the latency/bandwidth ratio above which It-Inv-TRSM beats
+Rec-TRSM in modeled time.  The expected shape — crossovers fall (the new
+method wins on ever more bandwidth-friendly machines) as p grows, and the
+1D regime never crosses — follows directly from the Section IX table.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.sensitivity import crossover_ratio, sweep_alpha_beta
+
+
+def test_crossover_map(benchmark, emit):
+    n_over_k = [1, 4, 16]
+    ps = [64, 1024, 16384]
+    k = 64
+
+    def build():
+        rows = []
+        for r in n_over_k:
+            row = [f"n/k={r}"]
+            for p in ps:
+                c = crossover_ratio(r * k, k, p)
+                row.append("always" if c is None and _wins_everywhere(r * k, k, p) else
+                           ("never" if c is None else f"{c:.3g}"))
+            rows.append(row)
+        return rows
+
+    def _wins_everywhere(n, k_, p):
+        return sweep_alpha_beta(n, k_, p, ratios=[1e-2])[0].speedup > 1
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        "E12_crossover_map",
+        format_table(
+            ["shape"] + [f"p={p}" for p in ps],
+            rows,
+            title="alpha/beta ratio where It-Inv-TRSM starts winning (k=64)",
+        ),
+    )
+
+    # crossovers shrink (or vanish into "always") left to right in p
+    import math
+
+    def parse(cell):
+        if cell == "always":
+            return 0.0
+        if cell == "never":
+            return math.inf
+        return float(cell)
+
+    for row in rows:
+        vals = [parse(c) for c in row[1:]]
+        assert vals == sorted(vals, reverse=True) or vals[0] == vals[-1]
+
+
+def test_speedup_grows_with_latency_dominance(benchmark, emit):
+    def build():
+        pts = sweep_alpha_beta(256, 64, 1024)
+        return [[pt.alpha_over_beta, pt.t_recursive * 1e3, pt.t_iterative * 1e3,
+                 pt.speedup] for pt in pts]
+
+    rows = benchmark(build)
+    emit(
+        "E12_alpha_beta_sweep",
+        format_table(
+            ["alpha/beta", "recursive ms", "iterative ms", "speedup"],
+            rows,
+            title="Modeled times vs machine balance (n=256, k=64, p=1024)",
+        ),
+    )
+    speedups = [r[3] for r in rows]
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,77 @@
+"""E9b — numerical stability of selective inversion (added experiment).
+
+The paper argues (citing Du Croz & Higham) that triangular inversion is
+numerically stable, so replacing small solves by multiplications with
+inverted diagonal blocks "maintains numerical stability".  This bench
+measures it: residuals of It-Inv-TRSM vs the recursive substitution
+baseline vs a naive full-inversion solve, on progressively worse
+conditioned triangular matrices.
+
+Expected shape: substitution and selective block inversion stay at O(eps)
+backward error across the condition sweep; both are far better behaved
+than explicitly forming inv(L) @ B at extreme conditioning (and never
+worse).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.inversion import invert_lower_triangular
+from repro.trsm.solver import trsm
+from repro.util.checking import relative_residual
+from repro.util.randmat import ill_conditioned_lower_triangular, random_dense
+
+
+def test_stability_under_conditioning(benchmark, emit):
+    n, k, p = 64, 16, 16
+
+    def sweep():
+        rows = []
+        for cond in (1e2, 1e6, 1e10, 1e14):
+            L = ill_conditioned_lower_triangular(n, condition_target=cond, seed=0)
+            B = random_dense(n, k, seed=1)
+            r_it = trsm(L, B, p=p, algorithm="iterative", n0=16)
+            r_rec = trsm(L, B, p=p, algorithm="recursive")
+            X_inv = invert_lower_triangular(L) @ B
+            rows.append(
+                [
+                    cond,
+                    r_it.residual,
+                    r_rec.residual,
+                    relative_residual(L, X_inv, B),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E9_stability",
+        format_table(
+            ["cond(L)", "It-Inv-TRSM", "Rec-TRSM", "full inv(L) @ B"],
+            rows,
+            title="Backward residuals vs conditioning (n=64, k=16, p=16)",
+        ),
+    )
+    for cond, r_it, r_rec, r_inv in rows:
+        # selective inversion stays backward stable across the sweep
+        assert r_it < 1e-10, (cond, r_it)
+        assert r_rec < 1e-10, (cond, r_rec)
+        # and is never meaningfully worse than the substitution baseline
+        assert r_it <= 100 * max(r_rec, 1e-18), (cond, r_it, r_rec)
+
+
+def test_well_conditioned_all_methods_equal(benchmark):
+    from repro.util.randmat import random_lower_triangular
+
+    n, k, p = 48, 12, 4
+    L = random_lower_triangular(n, seed=2)
+    B = random_dense(n, k, seed=3)
+
+    def run():
+        r_it = trsm(L, B, p=p, algorithm="iterative", n0=12)
+        r_rec = trsm(L, B, p=p, algorithm="recursive")
+        return r_it, r_rec
+
+    r_it, r_rec = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.allclose(r_it.X, r_rec.X, atol=1e-9)
+    assert r_it.residual < 1e-13 and r_rec.residual < 1e-13

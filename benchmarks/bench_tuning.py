@@ -1,0 +1,107 @@
+"""E7 — Section VIII parameter tables: closed forms vs discrete optimum.
+
+For a grid of (n, k, p) spanning all three regimes, compares the paper's
+closed-form parameters against the exhaustive model-search optimum and
+asserts the paper's a-priori tuning claim: the closed forms land within a
+small constant factor of optimal, with the prescribed grid shapes
+(1D: p1 = 1, n0 = n; 2D: p2 = 1; 3D: p1 ~ (pn/4k)^{1/3}).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.machine.cost import CostParams
+from repro.trsm.cost_model import iterative_cost
+from repro.tuning import TrsmRegime, optimize_parameters, tuned_parameters
+
+CASES = [
+    # (n, k, p) — 1D, 2D and 3D representatives at two machine sizes
+    (16, 16 * 4 * 64, 64),
+    (16, 16 * 4 * 1024, 1024),
+    (4096, 16, 64),
+    (2**15, 16, 1024),
+    (256, 64, 64),
+    (1024, 256, 1024),
+]
+
+
+def test_closed_forms_near_discrete_optimum(benchmark, emit):
+    params = CostParams()
+
+    def build():
+        rows = []
+        for n, k, p in CASES:
+            closed = tuned_parameters(n, k, p)
+            best = optimize_parameters(n, k, p, params=params)
+            t_closed = iterative_cost(n, k, closed.n0, closed.p1, closed.p2).time(
+                params
+            )
+            t_best = iterative_cost(n, k, best.n0, best.p1, best.p2).time(params)
+            rows.append(
+                [
+                    closed.regime.value,
+                    n,
+                    k,
+                    p,
+                    f"({closed.p1},{closed.p2})",
+                    closed.n0,
+                    f"({best.p1},{best.p2})",
+                    best.n0,
+                    t_closed / t_best,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        "E7_tuning_parameters",
+        format_table(
+            [
+                "regime",
+                "n",
+                "k",
+                "p",
+                "closed (p1,p2)",
+                "closed n0",
+                "search (p1,p2)",
+                "search n0",
+                "t ratio",
+            ],
+            rows,
+            title="Section VIII closed-form parameters vs discrete optimum",
+        ),
+    )
+    for row in rows:
+        assert row[-1] <= 4.0, row  # closed form within 4x of optimum
+
+
+def test_prescribed_grid_shapes(benchmark):
+    def shapes():
+        one = tuned_parameters(16, 16 * 4 * 64, 64)
+        two = tuned_parameters(2**15, 16, 1024)
+        three = tuned_parameters(1024, 256, 1024)
+        return one, two, three
+
+    one, two, three = benchmark(shapes)
+    # 1D: p1 = 1, full inversion (n0 = n)
+    assert one.regime is TrsmRegime.ONE_LARGE
+    assert one.p1 == 1 and one.n0 == 16
+    # 2D: p2 = 1
+    assert two.regime is TrsmRegime.TWO_LARGE
+    assert two.p2 == 1 and two.p1 == 32
+    # 3D: p1 between 1 and sqrt(p), tracking (pn/4k)^{1/3}
+    assert three.regime is TrsmRegime.THREE_LARGE
+    assert 1 < three.p1 < 32
+    target = (1024 * 1024 / (4 * 256)) ** (1 / 3)
+    assert target / 2 <= three.p1 <= target * 2
+
+
+def test_r_parameters_follow_paper(benchmark):
+    def values():
+        return tuned_parameters(1024, 256, 1024)
+
+    c = benchmark(values)
+    # Section VIII 3D table: r1 = r2 = (min(p sqrt(nk)/n, p))^{1/3}
+    expected = min(1024 * (1024 * 256) ** 0.5 / 1024, 1024) ** (1 / 3)
+    assert c.r1 == pytest.approx(expected)
+    assert c.r2 == pytest.approx(expected)

@@ -1,0 +1,38 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Every bench regenerates one paper artifact (table or figure; see DESIGN.md
+section 4 for the experiment index) and
+
+* writes the regenerated artifact to ``benchmarks/results/<name>.txt``,
+* asserts the *shape* of the paper's claim (who wins, growth exponents,
+  crossovers) — not absolute constants, and
+* exposes at least one timed callable through pytest-benchmark so
+  ``pytest benchmarks/ --benchmark-only`` produces timing output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Write (and echo) a named artifact file."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ({path}) ---")
+        print(text)
+
+    return _emit

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Solving SPD linear systems: Cholesky factorization + two parallel TRSMs.
+
+This is the workload the paper's introduction motivates: once ``A = L L^T``
+is factored, every solve reduces to a forward TRSM with ``L`` and a backward
+TRSM with ``L^T``.  With many right-hand sides (here: multiple load cases of
+a finite-element-style stiffness system), the communication-avoiding solver
+shines because the diagonal-block inversions amortize over all columns.
+
+The backward solve reuses the lower-triangular machinery through the
+reversal trick ``P L^T P`` (P the anti-identity), which is again lower
+triangular.
+
+Usage:  python examples/cholesky_solver.py [n] [k] [p]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import random_dense, random_spd, trsm
+
+
+def solve_spd(A: np.ndarray, B: np.ndarray, p: int):
+    """Solve ``A X = B`` for SPD ``A`` with two simulated parallel TRSMs."""
+    n = A.shape[0]
+    Lc = np.linalg.cholesky(A)
+
+    fwd = trsm(Lc, B, p=p)  # Lc Y = B
+
+    P = np.eye(n)[::-1]
+    Lrev = P @ Lc.T @ P  # lower-triangular image of Lc^T
+    bwd = trsm(Lrev, P @ fwd.X, p=p)  # (P Lc^T P) (P X) = P Y
+    X = P @ bwd.X
+    return X, fwd, bwd
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 192
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 48
+    p = int(sys.argv[3]) if len(sys.argv) > 3 else 16
+
+    print(f"SPD solve: A ({n}x{n}), {k} right-hand sides, p={p} processors\n")
+    A = random_spd(n, seed=0)
+    B = random_dense(n, k, seed=1)
+
+    X, fwd, bwd = solve_spd(A, B, p)
+
+    err = np.linalg.norm(A @ X - B) / (np.linalg.norm(A) * np.linalg.norm(X))
+    print(f"relative error ||A X - B|| / (||A|| ||X||): {err:.2e}\n")
+
+    for name, res in (("forward solve", fwd), ("backward solve", bwd)):
+        c = res.measured
+        print(
+            f"{name:15s}: regime={res.choice.regime.value}  "
+            f"S={c.S:8.0f}  W={c.W:12.0f}  F={c.F:12.0f}  "
+            f"t={res.time * 1e3:8.3f} ms"
+        )
+
+    total = fwd.time + bwd.time
+    print(f"\ntotal simulated solve time: {total * 1e3:.3f} ms")
+    print(
+        "note: the factorization itself is local here; the paper's subject "
+        "is the TRSM pair, which dominates communication for repeated solves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Building a custom distributed algorithm on the simulated machine.
+
+This example shows the substrate the paper's algorithms are written on,
+by implementing a small new algorithm from scratch: a distributed
+**conjugate-gradient-style iteration** preconditioned with the prepared
+triangular solver — i.e. Raghavan's selective-inversion preconditioning
+(the paper's Section II-C3 citation) made concrete.
+
+We solve an SPD system ``A x = b`` with Richardson iteration preconditioned
+by ``M^{-1} = inv(L)^T inv(L)`` where ``A ~ L L^T`` is an incomplete
+(block-diagonal) Cholesky sketch.  Each iteration applies the prepared
+TRSM twice — the repeated-solve workload where the one-off Diagonal-
+Inverter amortizes to nothing.
+
+Usage:  python examples/custom_algorithm.py [n] [p] [iters]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HARDWARE_PRESETS, PreparedTrsm, random_spd
+
+
+def block_diagonal_cholesky(A: np.ndarray, nb: int) -> np.ndarray:
+    """Incomplete factor: Cholesky of the nb x nb diagonal blocks only."""
+    n = A.shape[0]
+    L = np.zeros_like(A)
+    step = max(n // nb, 1)
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        L[lo:hi, lo:hi] = np.linalg.cholesky(A[lo:hi, lo:hi])
+    return L
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    iters = int(sys.argv[3]) if len(sys.argv) > 3 else 30
+
+    params = HARDWARE_PRESETS["latency_bound"]
+    A = random_spd(n, seed=0)
+    b = np.random.default_rng(1).standard_normal(n)
+
+    L = block_diagonal_cholesky(A, nb=8)
+    Prev = np.eye(n)[::-1]
+    Lrev = Prev @ L.T @ Prev  # lower-triangular image of L^T
+
+    fwd = PreparedTrsm(L, p=p, k_hint=1, params=params)
+    bwd = PreparedTrsm(Lrev, p=p, k_hint=1, params=params)
+    prep_time = fwd.preparation_time + bwd.preparation_time
+
+    x = np.zeros(n)
+    solve_time = 0.0
+    history = []
+    for it in range(iters):
+        r = b - A @ x
+        rel = np.linalg.norm(r) / np.linalg.norm(b)
+        history.append(rel)
+        if rel < 1e-12:
+            break
+        # z = M^{-1} r  via two prepared triangular applications
+        y = fwd.solve(r, verify=False)
+        z = Prev @ bwd.solve(Prev @ y, verify=False)
+        solve_time += fwd.last_solve_time + bwd.last_solve_time
+        x = x + z
+
+    print(f"preconditioned Richardson on SPD system: n={n}, p={p}")
+    print(f"  iterations          : {len(history)}")
+    print(f"  final rel. residual : {history[-1]:.2e}")
+    print(f"  preparation (once)  : {prep_time * 1e3:9.3f} ms (simulated)")
+    print(f"  all applications    : {solve_time * 1e3:9.3f} ms (simulated)")
+    print(
+        f"  per application     : {solve_time / max(2 * (len(history) - 1), 1) * 1e3:9.3f} ms"
+    )
+    print()
+    print("convergence:", " ".join(f"{r:.1e}" for r in history[:8]), "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""End-to-end distributed pipeline: factor once, solve many.
+
+Combines the two halves of the library the way a real application would:
+
+1. factor ``A = L L^T`` on the simulated grid with the blocked distributed
+   Cholesky (inversion-based panel solves — the paper's idea applied
+   inside the factorization);
+2. solve a stream of right-hand-side batches with the communication-
+   avoiding TRSM (forward + backward sweep per batch);
+3. report where the messages and words went, per phase, across the whole
+   pipeline.
+
+Usage:  python examples/factorization_pipeline.py [n] [k] [p] [batches]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HARDWARE_PRESETS, random_dense, random_spd, trsm
+from repro.factor import cholesky_factor
+from repro.machine import Machine
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    p = int(sys.argv[3]) if len(sys.argv) > 3 else 16
+    batches = int(sys.argv[4]) if len(sys.argv) > 4 else 3
+
+    params = HARDWARE_PRESETS["default"]
+    sp = int(p**0.5)
+    A = random_spd(n, seed=0)
+
+    # --- factor ---------------------------------------------------------
+    machine = Machine(sp * sp, params=params)
+    grid = machine.grid(sp, sp)
+    Ld = cholesky_factor(machine, grid, A, block=max(n // 8, 1), panel="inversion")
+    Lc = Ld.to_global()
+    t_factor = machine.time()
+    print(f"factorization: n={n}, p={sp * sp}, time {t_factor * 1e3:.3f} ms")
+    for name in machine.phase_names():
+        c = machine.phase_cost(name)
+        print(f"  {name:16s}: S={c.S:8.0f}  W={c.W:12.0f}  F={c.F:12.0f}")
+
+    # --- solve stream -----------------------------------------------------
+    P = np.eye(n)[::-1]
+    Lrev = P @ Lc.T @ P
+    t_solves = 0.0
+    worst_err = 0.0
+    for b in range(batches):
+        B = random_dense(n, k, seed=10 + b)
+        fwd = trsm(Lc, B, p=p, params=params)
+        bwd = trsm(Lrev, P @ fwd.X, p=p, params=params)
+        X = P @ bwd.X
+        t_solves += fwd.time + bwd.time
+        err = np.linalg.norm(A @ X - B) / (np.linalg.norm(A) * np.linalg.norm(X))
+        worst_err = max(worst_err, err)
+
+    print(f"\n{batches} solve batches of {k} RHS each: {t_solves * 1e3:.3f} ms total")
+    print(f"worst relative error: {worst_err:.2e}")
+    print(
+        f"\npipeline total: {(t_factor + t_solves) * 1e3:.3f} ms "
+        f"(factorization share {t_factor / (t_factor + t_solves):.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regime explorer: the paper's Figure 1 plus a-priori parameter advice.
+
+Prints the (n/k, p) regime map (which processor-grid layout Section VIII
+prescribes where), then, for a concrete (n, k, p), the closed-form tuned
+parameters next to the exhaustive model-search optimum and the predicted
+improvement over the recursive baseline.
+
+Usage:  python examples/regime_explorer.py [n] [k] [p]
+"""
+
+import sys
+
+from repro import optimize_parameters, tuned_parameters
+from repro.analysis import (
+    improvement_factors,
+    regime_map,
+    render_regime_map,
+)
+from repro.trsm.cost_model import iterative_cost
+from repro.machine.cost import CostParams
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 256
+    p = int(sys.argv[3]) if len(sys.argv) > 3 else 1024
+
+    print("Figure 1 — grid layout by relative matrix size and machine size")
+    print(render_regime_map(regime_map((-6, 6), (4, 65536))))
+    print()
+
+    print(f"A-priori tuning for n={n}, k={k}, p={p}")
+    print("-" * 60)
+    params = CostParams()
+    closed = tuned_parameters(n, k, p)
+    best = optimize_parameters(n, k, p, params=params)
+    for name, c in (("closed form (Sec. VIII)", closed), ("model search", best)):
+        t = iterative_cost(n, k, c.n0, c.p1, c.p2).time(params)
+        print(
+            f"{name:24s}: regime={c.regime.value}  p1={c.p1:<4d} p2={c.p2:<6d} "
+            f"n0={c.n0:<6d} modeled t={t * 1e3:.3f} ms"
+        )
+
+    imp = improvement_factors(n, k, p)
+    print()
+    print(f"standard / new method cost ratios ({imp.regime.value} regime):")
+    print(f"  latency   S_std/S_new = {imp.latency_ratio:10.2f}"
+          f"   (paper predicts ~{imp.predicted_latency_ratio:.2f})")
+    print(f"  bandwidth W_std/W_new = {imp.bandwidth_ratio:10.2f}")
+    print(f"  flops     F_std/F_new = {imp.flop_ratio:10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+environments without the ``wheel`` package (offline machines, where PEP 517
+editable builds cannot generate a wheel) can still ``pip install -e .`` via
+the legacy setuptools code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

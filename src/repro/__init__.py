@@ -1,0 +1,110 @@
+"""repro: communication-avoiding parallel TRSM (Wicky, Solomonik, Hoefler,
+IPDPS 2017), reproduced in Python on a simulated alpha-beta-gamma machine.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import trsm, random_lower_triangular, random_dense
+>>> L = random_lower_triangular(256, seed=0)
+>>> B = random_dense(256, 64, seed=1)
+>>> result = trsm(L, B, p=64)           # It-Inv-TRSM on 64 simulated procs
+>>> bool(result.residual < 1e-12)
+True
+
+Package layout
+--------------
+``repro.machine``   simulated machine: grids, collectives, cost accounting
+``repro.dist``      distributed matrices and layouts
+``repro.mm``        Section III matrix multiplication
+``repro.inversion`` Section V recursive triangular inversion
+``repro.trsm``      Sections IV & VI TRSM algorithms + cost models
+``repro.tuning``    Section VIII a-priori parameter selection
+``repro.analysis``  Section IX tables, Figure 1 regime map
+"""
+
+from repro.machine import Cost, CostParams, HARDWARE_PRESETS, Machine, ProcessorGrid
+from repro.machine.validate import (
+    GridError,
+    ParameterError,
+    ReproError,
+    ShapeError,
+)
+from repro.dist import (
+    BlockCyclicLayout,
+    BlockedLayout,
+    CyclicLayout,
+    DistMatrix,
+)
+from repro.mm import mm1d, mm3d
+from repro.inversion import invert_lower_triangular, rec_tri_inv
+from repro.trsm import (
+    TrsmResult,
+    heath_romine_trsv,
+    it_inv_trsm,
+    it_inv_trsm_global,
+    rec_trsm,
+    rec_trsm_global,
+    trsm,
+    trsm_lower_sequential,
+)
+from repro.trsm.variants import solve_lu, solve_triangular
+from repro.trsm.prepared import PreparedTrsm
+from repro.factor import cholesky_cost, cholesky_factor
+from repro.tuning import (
+    TrsmRegime,
+    TuningChoice,
+    classify_trsm,
+    optimize_parameters,
+    tuned_parameters,
+)
+from repro.util import (
+    random_dense,
+    random_lower_triangular,
+    random_spd,
+    relative_residual,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cost",
+    "CostParams",
+    "HARDWARE_PRESETS",
+    "Machine",
+    "ProcessorGrid",
+    "ReproError",
+    "GridError",
+    "ShapeError",
+    "ParameterError",
+    "DistMatrix",
+    "CyclicLayout",
+    "BlockedLayout",
+    "BlockCyclicLayout",
+    "mm3d",
+    "mm1d",
+    "invert_lower_triangular",
+    "rec_tri_inv",
+    "trsm",
+    "TrsmResult",
+    "solve_triangular",
+    "solve_lu",
+    "PreparedTrsm",
+    "cholesky_factor",
+    "cholesky_cost",
+    "trsm_lower_sequential",
+    "heath_romine_trsv",
+    "rec_trsm",
+    "rec_trsm_global",
+    "it_inv_trsm",
+    "it_inv_trsm_global",
+    "TrsmRegime",
+    "TuningChoice",
+    "classify_trsm",
+    "tuned_parameters",
+    "optimize_parameters",
+    "random_dense",
+    "random_lower_triangular",
+    "random_spd",
+    "relative_residual",
+    "__version__",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     run a tuned simulated solve on random operands and report costs
+``tune``      print the a-priori parameters (closed form + model search)
+``map``       print the Figure 1 regime map
+``table``     print the Section IX conclusion table for a p-sweep
+``presets``   list the machine cost presets
+``report``    write model-side artifacts (CSV/JSON) to a directory
+``selfcheck`` run the acceptance battery
+
+Every command operates on synthetic operands — the CLI exists to explore
+the cost model and the simulator without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_nkp(p: argparse.ArgumentParser, n=256, k=64, pp=64) -> None:
+    p.add_argument("-n", type=int, default=n, help="matrix dimension")
+    p.add_argument("-k", type=int, default=k, help="right-hand sides")
+    p.add_argument("-p", type=int, default=pp, help="processors (power of two)")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro import HARDWARE_PRESETS, random_dense, random_lower_triangular, trsm
+
+    params = HARDWARE_PRESETS[args.machine]
+    L = random_lower_triangular(args.n, seed=args.seed)
+    B = random_dense(args.n, args.k, seed=args.seed + 1)
+    res = trsm(
+        L,
+        B,
+        p=args.p,
+        algorithm=args.algorithm,
+        params=params,
+        tune=args.tune,
+    )
+    print(f"algorithm : {res.algorithm}")
+    if res.choice is not None:
+        c = res.choice
+        print(
+            f"parameters: regime={c.regime.value} p1={c.p1} p2={c.p2} "
+            f"n0={c.n0} (r1={c.r1:.2f}, r2={c.r2:.2f})"
+        )
+    print(f"residual  : {res.residual:.3e}")
+    m = res.measured
+    print(f"measured  : S={m.S:.0f}  W={m.W:.0f}  F={m.F:.0f}")
+    print(f"time      : {res.time * 1e3:.4f} ms  (machine '{args.machine}')")
+    for name, cost in sorted(res.phase_costs().items()):
+        print(f"  phase {name:10s}: S={cost.S:8.0f} W={cost.W:12.0f} F={cost.F:12.0f}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro import HARDWARE_PRESETS, optimize_parameters, tuned_parameters
+    from repro.trsm.cost_model import iterative_cost, recursive_cost
+
+    params = HARDWARE_PRESETS[args.machine]
+    closed = tuned_parameters(args.n, args.k, args.p)
+    best = optimize_parameters(args.n, args.k, args.p, params=params)
+    print(f"regime: {closed.regime.value}")
+    for name, c in (("closed form", closed), ("model search", best)):
+        t = iterative_cost(args.n, args.k, c.n0, c.p1, c.p2).time(params)
+        print(
+            f"{name:13s}: p1={c.p1:<5d} p2={c.p2:<7d} n0={c.n0:<7d} "
+            f"modeled {t * 1e3:.4f} ms"
+        )
+    t_rec = recursive_cost(args.n, args.k, args.p).time(params)
+    print(f"{'recursive':13s}: modeled {t_rec * 1e3:.4f} ms (baseline)")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.analysis import regime_map, render_regime_map
+
+    print(
+        render_regime_map(
+            regime_map(
+                (args.ratio_min, args.ratio_max), (args.p_min, args.p_max)
+            )
+        )
+    )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.trsm.cost_model import conclusion_row
+    from repro.tuning.regimes import classify_trsm
+
+    rows = []
+    p = args.p_min
+    while p <= args.p_max:
+        row = conclusion_row(args.n, args.k, p)
+        std, new = row["standard"], row["new"]
+        rows.append(
+            [
+                classify_trsm(args.n, args.k, p).value,
+                p,
+                std.S,
+                new.S,
+                std.S / new.S if new.S else float("inf"),
+                std.W / new.W if new.W else float("inf"),
+            ]
+        )
+        p *= 4
+    print(
+        format_table(
+            ["regime", "p", "S std", "S new", "S ratio", "W ratio"],
+            rows,
+            title=f"Conclusion-table sweep (n={args.n}, k={args.k})",
+        )
+    )
+    return 0
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    from repro import HARDWARE_PRESETS
+
+    for name, p in HARDWARE_PRESETS.items():
+        print(
+            f"{name:16s}: alpha={p.alpha:.2e}  beta={p.beta:.2e}  "
+            f"gamma={p.gamma:.2e}  (alpha/beta = {p.latency_bandwidth_ratio():.3g})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Communication-avoiding TRSM: simulated solves and cost models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="run one tuned simulated solve")
+    _add_nkp(p_solve)
+    p_solve.add_argument(
+        "--algorithm", choices=["auto", "iterative", "recursive"], default="auto"
+    )
+    p_solve.add_argument(
+        "--tune", choices=["closed_form", "search"], default="closed_form"
+    )
+    p_solve.add_argument("--machine", default="default")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_tune = sub.add_parser("tune", help="a-priori parameter advice")
+    _add_nkp(p_tune)
+    p_tune.add_argument("--machine", default="default")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_map = sub.add_parser("map", help="Figure 1 regime map")
+    p_map.add_argument("--ratio-min", type=int, default=-8)
+    p_map.add_argument("--ratio-max", type=int, default=8)
+    p_map.add_argument("--p-min", type=int, default=4)
+    p_map.add_argument("--p-max", type=int, default=65536)
+    p_map.set_defaults(func=_cmd_map)
+
+    p_table = sub.add_parser("table", help="Section IX conclusion-table sweep")
+    p_table.add_argument("-n", type=int, default=256)
+    p_table.add_argument("-k", type=int, default=64)
+    p_table.add_argument("--p-min", type=int, default=64)
+    p_table.add_argument("--p-max", type=int, default=2**20)
+    p_table.set_defaults(func=_cmd_table)
+
+    p_presets = sub.add_parser("presets", help="list machine cost presets")
+    p_presets.set_defaults(func=_cmd_presets)
+
+    p_report = sub.add_parser(
+        "report", help="write model-side artifacts (CSV/JSON) to a directory"
+    )
+    p_report.add_argument("directory")
+    p_report.add_argument("-n", type=int, default=256)
+    p_report.add_argument("-k", type=int, default=64)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_check = sub.add_parser("selfcheck", help="run the acceptance battery")
+    p_check.add_argument("--quick", action="store_true")
+    p_check.set_defaults(func=_cmd_selfcheck)
+
+    return parser
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.analysis.selfcheck import run_selfcheck
+
+    report = run_selfcheck(quick=args.quick)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.export import write_report
+
+    for path in write_report(args.directory, n=args.n, k=args.k):
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Paper-artifact generation: tables, the Figure 1 regime map, asymptotics.
+
+* :mod:`repro.analysis.asymptotics` — leading-order cost ratios (the
+  Section IX improvement factors) and empirical growth-rate fitting;
+* :mod:`repro.analysis.tables` — the Section IX conclusion table and the
+  per-line / per-part cost tables, from both models and simulation;
+* :mod:`repro.analysis.regime_map` — Figure 1 as a (n/k, p) grid of regime
+  labels;
+* :mod:`repro.analysis.report` — plain-text / CSV rendering.
+"""
+
+from repro.analysis.asymptotics import (
+    fit_power_law,
+    improvement_factors,
+    latency_ratio_prediction,
+)
+from repro.analysis.regime_map import regime_map, render_regime_map
+from repro.analysis.tables import (
+    conclusion_table,
+    iterative_parts_table,
+    mm_line_table,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "fit_power_law",
+    "improvement_factors",
+    "latency_ratio_prediction",
+    "regime_map",
+    "render_regime_map",
+    "conclusion_table",
+    "iterative_parts_table",
+    "mm_line_table",
+    "format_table",
+]

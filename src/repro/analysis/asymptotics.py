@@ -1,0 +1,77 @@
+"""Leading-order comparisons and growth-rate fitting.
+
+The Section IX claims are *ratios* between the standard and new methods:
+
+* 3D regime latency: ``S_std / S_new = Theta((n/k)^{1/6} p^{2/3})``;
+* 2D regime latency: at least ``p^{1/4} / log p``;
+* 2D regime bandwidth: ``log p``.
+
+``improvement_factors`` evaluates both cost models and returns the measured
+ratios next to the predicted ones; ``fit_power_law`` extracts empirical
+exponents from sweeps (used by the benches to assert that measured scaling
+matches the theory's slope, not its constants).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trsm.cost_model import conclusion_row
+from repro.tuning.regimes import TrsmRegime, classify_trsm
+
+
+def latency_ratio_prediction(n: int, k: int, p: int) -> float:
+    """The paper's predicted latency improvement for the regime of (n,k,p).
+
+    3D: ``(n/k)^{1/6} p^{2/3}``; 2D: ``p^{1/4}/log p`` (the paper's "at
+    least" bound); 1D: ``1/log p`` (the new method *pays* an extra log).
+    """
+    regime = classify_trsm(n, k, p)
+    lg = math.log2(p) if p > 1 else 1.0
+    if regime is TrsmRegime.THREE_LARGE:
+        return (n / k) ** (1.0 / 6.0) * p ** (2.0 / 3.0)
+    if regime is TrsmRegime.TWO_LARGE:
+        return p**0.25 / lg
+    return 1.0 / lg
+
+
+@dataclass(frozen=True)
+class Improvement:
+    """Measured (model-evaluated) and predicted improvement factors."""
+
+    regime: TrsmRegime
+    latency_ratio: float
+    bandwidth_ratio: float
+    flop_ratio: float
+    predicted_latency_ratio: float
+
+
+def improvement_factors(n: int, k: int, p: int) -> Improvement:
+    """Standard-over-new cost ratios from the closed-form models."""
+    row = conclusion_row(n, k, p)
+    std, new = row["standard"], row["new"]
+    return Improvement(
+        regime=classify_trsm(n, k, p),
+        latency_ratio=std.S / new.S if new.S else float("inf"),
+        bandwidth_ratio=std.W / new.W if new.W else float("inf"),
+        flop_ratio=std.F / new.F if new.F else float("inf"),
+        predicted_latency_ratio=latency_ratio_prediction(n, k, p),
+    )
+
+
+def fit_power_law(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Least-squares fit ``y ~ c * x^e`` in log-log space; returns (e, c).
+
+    Used to assert empirical scaling exponents, e.g. that the measured
+    recursive-TRSM latency grows like ``p^{2/3}`` while the iterative one
+    grows polylogarithmically.
+    """
+    xs_a = np.asarray(xs, dtype=np.float64)
+    ys_a = np.asarray(ys, dtype=np.float64)
+    if np.any(xs_a <= 0) or np.any(ys_a <= 0):
+        raise ValueError("power-law fit requires positive data")
+    e, logc = np.polyfit(np.log(xs_a), np.log(ys_a), 1)
+    return float(e), float(math.exp(logc))

@@ -1,0 +1,66 @@
+"""Figure 1: which grid layout (1D/2D/3D) each (n/k, p) combination uses.
+
+The paper's Figure 1 shows the one-, two- and three-dimensional processor
+layouts as a function of the relative matrix sizes.  ``regime_map`` sweeps
+the classifier over a logarithmic (n/k, p) grid; ``render_regime_map``
+draws it as ASCII art (rows: n/k ratio descending; columns: p ascending).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tuning.regimes import TrsmRegime, classify_trsm
+from repro.util.mathutil import geometric_range
+
+_GLYPH = {
+    TrsmRegime.ONE_LARGE: "1",
+    TrsmRegime.TWO_LARGE: "2",
+    TrsmRegime.THREE_LARGE: "3",
+}
+
+
+@dataclass(frozen=True)
+class RegimeMap:
+    """The regime label at every (ratio, p) grid point."""
+
+    ratios: list[int]  # n/k ratios (n = ratio * k_base); negative => k > n
+    ps: list[int]
+    labels: list[list[TrsmRegime]]  # labels[i][j] for ratios[i], ps[j]
+
+
+def regime_map(
+    ratio_exp_range: tuple[int, int] = (-8, 8),
+    p_range: tuple[int, int] = (4, 65536),
+    k_base: int = 4096,
+) -> RegimeMap:
+    """Classify every (n/k = 2^e, p) point.
+
+    ``n`` is held at ``k_base * 2^e`` (e >= 0) or ``k`` raised instead
+    (e < 0), so both n > k and k > n halves of Figure 1 are covered.
+    """
+    exps = list(range(ratio_exp_range[0], ratio_exp_range[1] + 1))
+    ps = geometric_range(p_range[0], p_range[1], 4)
+    labels: list[list[TrsmRegime]] = []
+    ratios: list[int] = []
+    for e in exps:
+        if e >= 0:
+            n, k = k_base * (2**e), k_base
+        else:
+            n, k = k_base, k_base * (2 ** (-e))
+        ratios.append(e)
+        labels.append([classify_trsm(n, k, p) for p in ps])
+    return RegimeMap(ratios=ratios, ps=ps, labels=labels)
+
+
+def render_regime_map(rmap: RegimeMap) -> str:
+    """ASCII rendering: '1'/'2'/'3' glyphs, n/k descending top to bottom."""
+    lines = ["log2(n/k) \\ p : " + " ".join(f"{p:>6d}" for p in rmap.ps)]
+    for e, row in sorted(zip(rmap.ratios, rmap.labels), reverse=True):
+        cells = " ".join(f"{_GLYPH[r]:>6s}" for r in row)
+        lines.append(f"{e:>13d} : {cells}")
+    lines.append("")
+    lines.append("1 = one large dimension (1D grid, full inversion)")
+    lines.append("2 = two large dimensions (2D grid)")
+    lines.append("3 = three large dimensions (3D grid)")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Machine-sensitivity analysis: when does the new method win *in time*?
+
+The paper compares S/W/F asymptotically; a practitioner asks a different
+question: on *my* machine (my alpha/beta/gamma), at *my* problem size, is
+the iterative algorithm faster, and by how much?  This module sweeps the
+latency/bandwidth ratio and locates the crossover — turning the paper's
+asymptotic statement into a deployable decision rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError, require
+from repro.trsm.cost_model import iterative_cost, recursive_cost
+from repro.tuning.parameters import tuned_parameters
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Modeled times of both methods at one alpha/beta ratio."""
+
+    alpha_over_beta: float
+    t_recursive: float
+    t_iterative: float
+
+    @property
+    def speedup(self) -> float:
+        return self.t_recursive / self.t_iterative if self.t_iterative else float("inf")
+
+
+def sweep_alpha_beta(
+    n: int,
+    k: int,
+    p: int,
+    ratios: list[float] | None = None,
+    beta: float = 1e-9,
+    gamma_over_beta: float = 0.05,
+) -> list[SensitivityPoint]:
+    """Modeled recursive-vs-iterative times across alpha/beta ratios.
+
+    ``beta`` is held fixed; ``alpha = ratio * beta``;
+    ``gamma = gamma_over_beta * beta``.  Uses the Section VIII tuned
+    parameters for the iterative method at each point.
+    """
+    require(n >= 1 and k >= 1 and p >= 1, ParameterError, "n, k, p must be >= 1")
+    if ratios is None:
+        ratios = [10.0**e for e in range(0, 7)]
+    choice = tuned_parameters(n, k, p)
+    out = []
+    for ratio in ratios:
+        params = CostParams(
+            alpha=ratio * beta, beta=beta, gamma=gamma_over_beta * beta
+        )
+        t_rec = recursive_cost(n, k, p).time(params)
+        t_it = iterative_cost(n, k, choice.n0, choice.p1, choice.p2).time(params)
+        out.append(
+            SensitivityPoint(
+                alpha_over_beta=ratio, t_recursive=t_rec, t_iterative=t_it
+            )
+        )
+    return out
+
+
+def crossover_ratio(
+    n: int,
+    k: int,
+    p: int,
+    lo: float = 1e-2,
+    hi: float = 1e8,
+    iters: int = 60,
+) -> float | None:
+    """The alpha/beta ratio above which the iterative method is faster.
+
+    Bisection on the monotone speedup curve; returns ``None`` when one
+    method dominates over the whole ``[lo, hi]`` range (e.g. the iterative
+    method already wins at ``lo``, or never wins by ``hi``).
+    """
+
+    def wins(ratio: float) -> bool:
+        pt = sweep_alpha_beta(n, k, p, ratios=[ratio])[0]
+        return pt.t_iterative < pt.t_recursive
+
+    if wins(lo):
+        return None  # always wins in range
+    if not wins(hi):
+        return None  # never wins in range
+    a, b = lo, hi
+    for _ in range(iters):
+        mid = math.sqrt(a * b)
+        if wins(mid):
+            b = mid
+        else:
+            a = mid
+    return math.sqrt(a * b)

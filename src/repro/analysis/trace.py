@@ -1,0 +1,89 @@
+"""Trace aggregation: where did the critical-path cost go?
+
+With ``Machine(trace=True)`` every charge records a labelled
+:class:`~repro.machine.counters.TraceEvent`.  This module folds the event
+stream into per-label summaries — the profiling view a performance engineer
+would want before believing a cost model ("which collective dominates the
+words moved?", "how many message rounds does the update phase really
+issue?").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.machine.cost import Cost
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class LabelSummary:
+    """Aggregate of all charges sharing one label."""
+
+    label: str
+    events: int
+    total: Cost  # summed over events (volume view, not critical path)
+    worst: Cost  # componentwise max over events
+    max_group: int
+
+    @property
+    def mean_words(self) -> float:
+        return self.total.W / self.events if self.events else 0.0
+
+
+def summarize_trace(machine: Machine) -> list[LabelSummary]:
+    """Per-label summaries, sorted by total words descending.
+
+    Requires the machine to have been created with ``trace=True``; raises
+    ``ValueError`` otherwise (an empty trace on a traced machine is fine).
+    """
+    if not machine.trace_enabled:
+        raise ValueError(
+            "trace aggregation needs Machine(trace=True); this machine "
+            "recorded no events"
+        )
+    totals: dict[str, Cost] = defaultdict(Cost.zero)
+    worsts: dict[str, Cost] = defaultdict(Cost.zero)
+    counts: dict[str, int] = defaultdict(int)
+    groups: dict[str, int] = defaultdict(int)
+    for ev in machine.trace:
+        label = ev.label or "<unlabelled>"
+        totals[label] = totals[label] + ev.cost
+        worsts[label] = Cost.max(worsts[label], ev.cost)
+        counts[label] += 1
+        groups[label] = max(groups[label], ev.group_size)
+    out = [
+        LabelSummary(
+            label=label,
+            events=counts[label],
+            total=totals[label],
+            worst=worsts[label],
+            max_group=groups[label],
+        )
+        for label in totals
+    ]
+    return sorted(out, key=lambda s: s.total.W, reverse=True)
+
+
+def render_trace(machine: Machine, top: int = 20) -> str:
+    """Text table of the ``top`` labels by total words."""
+    from repro.analysis.report import format_table
+
+    rows = [
+        [
+            s.label,
+            s.events,
+            s.max_group,
+            s.total.S,
+            s.total.W,
+            s.total.F,
+            s.worst.W,
+        ]
+        for s in summarize_trace(machine)[:top]
+    ]
+    return format_table(
+        ["label", "events", "max group", "S total", "W total", "F total", "W worst"],
+        rows,
+        title="Charge trace by label",
+    )

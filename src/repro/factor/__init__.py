@@ -1,0 +1,27 @@
+"""Distributed factorizations that consume the TRSM machinery.
+
+The paper's introduction motivates TRSM through "LU and Cholesky
+factorizations" — the triangular solve is both a building block *inside*
+the factorization (panel solves) and the operation every subsequent
+right-hand side pays.  This package provides a blocked right-looking
+Cholesky on the simulated machine with two panel-solve strategies:
+
+* ``"substitution"`` — the classical latency-bound forward substitution
+  against the diagonal block;
+* ``"inversion"`` — the paper's idea applied in situ: invert the (small)
+  diagonal Cholesky factor once and turn every panel solve into a
+  matrix multiplication.
+
+The measured contrast between the two is the paper's Section IX story
+replayed inside a real consumer.
+
+:mod:`repro.factor.lu` adds blocked LU with the pivoting-latency contrast
+(classical partial pivoting's ``Theta(n log p)`` rounds vs CALU-style
+tournament pivoting's ``Theta((n/b) log p)``).
+"""
+
+from repro.factor.cholesky import cholesky_factor
+from repro.factor.cost_model import cholesky_cost
+from repro.factor.lu import lu_factor_distributed
+
+__all__ = ["cholesky_factor", "cholesky_cost", "lu_factor_distributed"]

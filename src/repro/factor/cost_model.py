@@ -1,0 +1,68 @@
+"""Analytic cost model for the blocked distributed Cholesky.
+
+For ``n/b`` panels on ``p = sp^2`` processors (``m_j`` = trailing size at
+panel j, summing ``sum m_j ~ n^2/(2b)`` and ``sum m_j^2 ~ n^3/(3b)``):
+
+* panel factor:   per panel ``S = log p, W = b^2, F = b^3/6``
+* panel solve:
+  - inversion:    per panel ``S = 2 log p, W = 2 b^2, F = m b^2/p``
+  - substitution: per panel ``S = b log p, W = b m/sp, F = m b^2/(2p)``
+* trailing update: per panel ``S = 2 log p, W = 2 m b/sp, F = m^2 b/(2p)``
+
+The latency contrast is the paper's story embedded in a consumer: with
+substitution panels the factorization pays ``Theta(n log p)`` messages
+(``b`` steps x ``n/b`` panels), with inversion panels only
+``Theta((n/b) log p)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.cost import Cost
+from repro.machine.validate import ParameterError, require
+
+
+def cholesky_cost(n: int, b: int, p: int, panel: str = "inversion") -> Cost:
+    """Total modeled cost of the blocked distributed Cholesky."""
+    require(n >= 1 and b >= 1 and p >= 1, ParameterError, "n, b, p must be >= 1")
+    require(
+        panel in ("inversion", "substitution"),
+        ParameterError,
+        f"unknown panel strategy {panel!r}",
+    )
+    b = min(b, n)
+    sp = math.isqrt(p)
+    lg = math.log2(p) if p > 1 else 0.0
+
+    total = Cost.zero()
+    lo = 0
+    while lo < n:
+        hi = min(lo + b, n)
+        bb = hi - lo
+        m = n - hi
+        total = total + Cost(S=lg, W=float(bb * bb), F=bb**3 / 6.0)
+        if m == 0:
+            break
+        if panel == "inversion":
+            total = total + Cost(
+                S=2 * lg, W=2.0 * bb * bb, F=m * bb * bb / p + bb**3 / (6.0 * p)
+            )
+        else:
+            total = total + Cost(
+                S=bb * max(lg, 1.0 if p > 1 else 0.0),
+                W=bb * m / max(sp, 1),
+                F=m * bb * bb / (2.0 * p),
+            )
+        total = total + Cost(
+            S=2 * lg, W=2.0 * m * bb / max(sp, 1), F=m * m * bb / (2.0 * p)
+        )
+        lo = hi
+    return total
+
+
+def latency_advantage(n: int, b: int, p: int) -> float:
+    """``S_substitution / S_inversion`` — grows like ``b`` for many panels."""
+    s_sub = cholesky_cost(n, b, p, panel="substitution").S
+    s_inv = cholesky_cost(n, b, p, panel="inversion").S
+    return s_sub / s_inv if s_inv else float("inf")

@@ -1,0 +1,33 @@
+"""Triangular matrix inversion (paper Section V).
+
+Triangular inversion — unlike general matrix inversion — is numerically
+stable (Du Croz & Higham) and, crucially for the paper, can be parallelized
+with only ``O(log^2 p)`` synchronizations because the two half-sized
+recursive inversions are *independent*.
+
+* :mod:`repro.inversion.sequential` — blocked sequential inversion built on
+  forward substitution (the redundant base-case kernel);
+* :mod:`repro.inversion.rec_tri_inv` — the parallel recursive inversion
+  ``RecTriInv`` with its cost analysis;
+* :mod:`repro.inversion.cost_model` — the Section V-B closed forms.
+"""
+
+from repro.inversion.sequential import (
+    invert_lower_triangular,
+    invert_unit_lower_triangular,
+)
+from repro.inversion.rec_tri_inv import rec_tri_inv
+from repro.inversion.cost_model import (
+    NU,
+    rec_tri_inv_cost,
+    rec_tri_inv_recurrence,
+)
+
+__all__ = [
+    "invert_lower_triangular",
+    "invert_unit_lower_triangular",
+    "rec_tri_inv",
+    "rec_tri_inv_cost",
+    "rec_tri_inv_recurrence",
+    "NU",
+]

@@ -1,0 +1,34 @@
+"""Simulated distributed-memory machine (the repo's MPI substitute).
+
+The paper analyses algorithms in the alpha-beta-gamma model: execution time
+along the critical path is ``T = alpha*S + beta*W + gamma*F`` where ``S``
+counts messages, ``W`` words and ``F`` flops.  This package provides
+
+* :class:`~repro.machine.cost.CostParams` — the (alpha, beta, gamma) triple,
+  with presets for representative machines;
+* :class:`~repro.machine.machine.Machine` — a set of virtual ranks, each with
+  its own clock and (S, W, F) counters.  Group operations synchronize the
+  participants (clock := group max) before charging, so ``machine.time()``
+  is the simulated critical-path time;
+* :class:`~repro.machine.topology.ProcessorGrid` — n-dimensional grids with
+  fiber/subgrid extraction, used to express the paper's 2D/3D/4D layouts;
+* :mod:`~repro.machine.collectives` — butterfly-cost collectives
+  (allgather, scatter, gather, reduce-scatter, bcast, reduce, allreduce,
+  all-to-all, point-to-point) that move real numpy data between ranks *and*
+  charge the exact costs of the paper's Section II-C1.
+"""
+
+from repro.machine.cost import Cost, CostParams, HARDWARE_PRESETS
+from repro.machine.machine import Machine
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import GridError, ShapeError
+
+__all__ = [
+    "Cost",
+    "CostParams",
+    "HARDWARE_PRESETS",
+    "Machine",
+    "ProcessorGrid",
+    "GridError",
+    "ShapeError",
+]

@@ -1,0 +1,116 @@
+"""Pluggable collective cost models.
+
+Section II-C1 builds everything on butterfly (recursive-doubling)
+collectives; the paper notes simpler alternatives exist and sets aside the
+factor-of-two-cheaper specialized broadcasts.  To make that design choice
+measurable, the machine's collective costs are a strategy object:
+
+* :class:`ButterflyModel` — the paper's choice (default everywhere):
+  ``log p`` rounds, bandwidth-optimal volumes;
+* :class:`RingModel` — linear/ring algorithms: same (or better) bandwidth,
+  but ``p - 1`` rounds.  Running any experiment under this model shows the
+  latency terms of every TRSM cost blowing up from ``log p`` to ``p`` —
+  i.e. *why* the paper's analysis assumes butterfly collectives.
+
+Every method returns the :class:`Cost` charged to **each participant** of
+a group of size ``g`` for a payload of ``n`` words (conventions documented
+per method; ``n`` means what it means in the paper's table).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.cost import Cost
+from repro.util.mathutil import unit_step
+
+
+def _log2_ceil(g: int) -> int:
+    return int(math.ceil(math.log2(g))) if g > 1 else 0
+
+
+class ButterflyModel:
+    """Recursive-doubling collectives (the paper's Section II-C1 table)."""
+
+    name = "butterfly"
+
+    def allgather(self, g: int, n_result: float) -> Cost:
+        return Cost(S=_log2_ceil(g), W=n_result * unit_step(g), F=0.0)
+
+    def scatter(self, g: int, n_total: float) -> Cost:
+        return Cost(S=_log2_ceil(g), W=n_total * unit_step(g), F=0.0)
+
+    gather = scatter
+
+    def reduce_scatter(self, g: int, n_total: float) -> Cost:
+        return Cost(
+            S=_log2_ceil(g),
+            W=n_total * unit_step(g),
+            F=n_total * unit_step(g),
+        )
+
+    def bcast(self, g: int, n: float) -> Cost:
+        return Cost(S=2 * _log2_ceil(g), W=2 * n * unit_step(g), F=0.0)
+
+    def reduce(self, g: int, n: float) -> Cost:
+        return Cost(
+            S=2 * _log2_ceil(g), W=2 * n * unit_step(g), F=n * unit_step(g)
+        )
+
+    allreduce = reduce
+
+    def alltoall(self, g: int, n_per_rank: float) -> Cost:
+        return Cost(
+            S=_log2_ceil(g), W=(n_per_rank / 2.0) * _log2_ceil(g), F=0.0
+        )
+
+
+class RingModel:
+    """Linear-ring collectives: ``g - 1`` rounds, bandwidth-lean.
+
+    Classical ring allgather/reduce-scatter move ``n (g-1)/g ~ n`` words in
+    ``g - 1`` rounds; ring bcast/allreduce pipelines cost ``~2n`` words in
+    ``~g`` rounds.  All-to-all degenerates to ``g - 1`` direct exchanges of
+    ``n/g`` words each.
+    """
+
+    name = "ring"
+
+    @staticmethod
+    def _rounds(g: int) -> int:
+        return max(g - 1, 0)
+
+    def allgather(self, g: int, n_result: float) -> Cost:
+        return Cost(S=self._rounds(g), W=n_result * unit_step(g), F=0.0)
+
+    def scatter(self, g: int, n_total: float) -> Cost:
+        return Cost(S=self._rounds(g), W=n_total * unit_step(g), F=0.0)
+
+    gather = scatter
+
+    def reduce_scatter(self, g: int, n_total: float) -> Cost:
+        return Cost(
+            S=self._rounds(g),
+            W=n_total * unit_step(g),
+            F=n_total * unit_step(g),
+        )
+
+    def bcast(self, g: int, n: float) -> Cost:
+        return Cost(S=2 * self._rounds(g), W=2 * n * unit_step(g), F=0.0)
+
+    def reduce(self, g: int, n: float) -> Cost:
+        return Cost(
+            S=2 * self._rounds(g), W=2 * n * unit_step(g), F=n * unit_step(g)
+        )
+
+    allreduce = reduce
+
+    def alltoall(self, g: int, n_per_rank: float) -> Cost:
+        return Cost(S=self._rounds(g), W=n_per_rank * unit_step(g), F=0.0)
+
+
+#: registry for Machine(collectives="...")
+COLLECTIVE_MODELS = {
+    "butterfly": ButterflyModel(),
+    "ring": RingModel(),
+}

@@ -1,0 +1,106 @@
+"""The alpha-beta-gamma execution-time model (paper Section II-A).
+
+``T = alpha * S + beta * W + gamma * F`` where, along the critical path,
+``S`` is the number of messages (latency), ``W`` the number of words moved
+(bandwidth) and ``F`` the number of flops.  ``Cost`` is an immutable triple
+of these counters; ``CostParams`` supplies the machine constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An (S, W, F) cost triple; supports addition, scaling and comparison.
+
+    ``S`` (latency) counts messages, ``W`` (bandwidth) counts words sent and
+    received, ``F`` counts flops (multiply-add convention, see
+    ``repro.util.checking``).  All three are floats so that analytic models
+    can produce fractional leading-order terms.
+    """
+
+    S: float = 0.0
+    W: float = 0.0
+    F: float = 0.0
+
+    def __add__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.S + other.S, self.W + other.W, self.F + other.F)
+
+    def __sub__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.S - other.S, self.W - other.W, self.F - other.F)
+
+    def __mul__(self, scalar: float) -> "Cost":
+        return Cost(self.S * scalar, self.W * scalar, self.F * scalar)
+
+    __rmul__ = __mul__
+
+    def time(self, params: "CostParams") -> float:
+        """Execution time under the given machine constants."""
+        return params.alpha * self.S + params.beta * self.W + params.gamma * self.F
+
+    def dominates(self, other: "Cost") -> bool:
+        """True if this cost is >= ``other`` in every component."""
+        return self.S >= other.S and self.W >= other.W and self.F >= other.F
+
+    @staticmethod
+    def zero() -> "Cost":
+        return Cost(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def max(a: "Cost", b: "Cost") -> "Cost":
+        """Componentwise max; used for independent (concurrent) branches."""
+        return Cost(max(a.S, b.S), max(a.W, b.W), max(a.F, b.F))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cost(S={self.S:.6g}, W={self.W:.6g}, F={self.F:.6g})"
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Machine constants: seconds per message, per word, per flop.
+
+    Defaults are representative of a 2016-era Cray XC interconnect with a
+    well-tuned dense-linear-algebra kernel: ``alpha = 1 us``, ``beta``
+    corresponding to ~8 GB/s per link for 8-byte words, ``gamma``
+    corresponding to ~20 Gflop/s per core.
+    """
+
+    alpha: float = 1.0e-6
+    beta: float = 1.0e-9
+    gamma: float = 5.0e-11
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError("cost constants must be non-negative")
+
+    def time(self, cost: Cost) -> float:
+        return cost.time(self)
+
+    def latency_bandwidth_ratio(self) -> float:
+        """alpha/beta: the message size at which latency equals transfer time."""
+        if self.beta == 0:
+            return float("inf")
+        return self.alpha / self.beta
+
+
+#: Machine presets used by examples and benches.  The ratios (not the
+#: absolute values) are what matter for algorithm selection: a *latency-bound*
+#: machine makes the paper's synchronization savings dominant.
+HARDWARE_PRESETS: dict[str, CostParams] = {
+    "default": CostParams(),
+    # Large alpha/beta ratio: a capability system where messages are expensive.
+    "latency_bound": CostParams(alpha=5.0e-6, beta=5.0e-10, gamma=2.5e-11, name="latency_bound"),
+    # Small alpha/beta ratio: a fat-tree commodity cluster.
+    "bandwidth_bound": CostParams(alpha=2.0e-7, beta=4.0e-9, gamma=1.0e-10, name="bandwidth_bound"),
+    # Uniform unit costs: S, W, F reported directly in the time.
+    "unit": CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit"),
+    # Count-only runs: time == S (useful for latency-focused assertions).
+    "latency_only": CostParams(alpha=1.0, beta=0.0, gamma=0.0, name="latency_only"),
+}

@@ -1,0 +1,209 @@
+"""The simulated machine: virtual ranks, clocks, charging, phases.
+
+A :class:`Machine` is the root object of every simulation.  It owns the
+per-rank clocks/counters and provides:
+
+* ``grid(shape)`` — allocate a fresh :class:`ProcessorGrid` over new ranks
+  (most programs allocate exactly one grid over all ranks);
+* ``charge(group, cost, label=...)`` — synchronize the group, then add the
+  cost to every member.  All collectives go through this;
+* ``charge_local(rank_costs)`` — per-rank compute charges without sync;
+* ``phase(name)`` — context manager labelling subsequent charges, used by the
+  per-phase cost benches (inversion / solve / update in Section VII);
+* ``time()``, ``critical_path()`` — simulated results.
+
+The machine never looks at the numpy payloads; data movement is done by the
+collectives in :mod:`repro.machine.collectives`, which call back into
+``charge`` with the Section II-C1 cost formulas.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.machine.cost import Cost, CostParams
+from repro.machine.counters import CounterSet, TraceEvent
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import GridError, require
+
+
+class Machine:
+    """A simulated distributed-memory machine with ``n_ranks`` processors."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        params: CostParams | None = None,
+        trace: bool = False,
+        collectives: str = "butterfly",
+    ):
+        require(n_ranks >= 1, GridError, f"need >= 1 rank, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.params = params or CostParams()
+        self.counters = CounterSet(self.n_ranks)
+        from repro.machine.collective_models import COLLECTIVE_MODELS
+        from repro.machine.memory import MemoryTracker
+
+        require(
+            collectives in COLLECTIVE_MODELS,
+            GridError,
+            f"unknown collective model {collectives!r}; "
+            f"choose from {sorted(COLLECTIVE_MODELS)}",
+        )
+        #: collective cost strategy (butterfly = the paper's Section II-C1)
+        self.coll = COLLECTIVE_MODELS[collectives]
+        #: per-rank memory high-water accounting (see machine/memory.py)
+        self.memory = MemoryTracker(self.n_ranks)
+        self.trace_enabled = bool(trace)
+        self.trace: list[TraceEvent] = []
+        self._phase_stack: list[str] = []
+        #: per-phase, per-rank (S, W, F) accumulators; the reported phase
+        #: cost is the componentwise max over ranks (see phase_cost)
+        self._phase_acc: dict[str, np.ndarray] = {}
+        self._next_rank = 0
+
+    # -- grid allocation ------------------------------------------------------
+
+    def grid(self, *shape: int) -> ProcessorGrid:
+        """Allocate a grid over fresh consecutive ranks.
+
+        Raises :class:`GridError` when the machine has too few unused ranks.
+        """
+        n = int(np.prod(shape))
+        require(
+            self._next_rank + n <= self.n_ranks,
+            GridError,
+            f"machine has {self.n_ranks - self._next_rank} unallocated ranks; "
+            f"grid of shape {shape} needs {n}",
+        )
+        g = ProcessorGrid.build(shape, start=self._next_rank)
+        self._next_rank += n
+        return g
+
+    # -- charging ---------------------------------------------------------------
+
+    def charge(
+        self,
+        group: Sequence[int],
+        cost: Cost,
+        label: str = "",
+        sync: bool = True,
+    ) -> None:
+        """Synchronize ``group`` (unless ``sync=False``) and charge each member."""
+        ranks = np.asarray(list(group), dtype=np.int64)
+        if ranks.size == 0:
+            return
+        if sync:
+            self.counters.sync(ranks)
+        seconds = cost.time(self.params)
+        self.counters.charge(ranks, cost, seconds)
+        self._phase_add(ranks, cost)
+        self._record(label, len(ranks), cost)
+
+    def charge_local(self, rank_costs: dict[int, Cost], label: str = "") -> None:
+        """Charge per-rank compute costs (no synchronization).
+
+        Used for local flops where different ranks may do different amounts
+        of work (e.g. triangular blocks).
+        """
+        worst = Cost.zero()
+        for rank, cost in rank_costs.items():
+            ranks = np.asarray([rank], dtype=np.int64)
+            self.counters.charge(ranks, cost, cost.time(self.params))
+            self._phase_add(ranks, cost)
+            worst = Cost.max(worst, cost)
+        if rank_costs:
+            self._record(label, len(rank_costs), worst)
+
+    def charge_uniform_flops(
+        self, group: Sequence[int], flops: float, label: str = ""
+    ) -> None:
+        """Charge the same flop count to every rank in ``group`` (no sync)."""
+        self.charge(group, Cost(0.0, 0.0, flops), label=label, sync=False)
+
+    def barrier(self, group: Sequence[int] | None = None) -> None:
+        """Synchronize a group (default: all ranks) without charging."""
+        if group is None:
+            group = range(self.n_ranks)
+        self.counters.sync(np.asarray(list(group), dtype=np.int64))
+
+    # -- phases -------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Label all charges issued inside the ``with`` block.
+
+        Phases may nest; charges are attributed to the innermost phase.
+        Phases may also be re-entered (e.g. once per iteration); costs
+        accumulate across entries.
+        """
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else ""
+
+    def phase_cost(self, name: str) -> Cost:
+        """Componentwise max over ranks of this phase's per-rank totals.
+
+        Concurrent charges to disjoint groups therefore do not inflate the
+        phase cost — this is the within-phase critical-path proxy the E6
+        bench compares against the Section VII formulas.
+        """
+        acc = self._phase_acc.get(name)
+        if acc is None:
+            return Cost.zero()
+        return Cost(float(acc[0].max()), float(acc[1].max()), float(acc[2].max()))
+
+    def phase_names(self) -> list[str]:
+        return list(self._phase_acc.keys())
+
+    def _phase_add(self, ranks: np.ndarray, cost: Cost) -> None:
+        phase = self.current_phase()
+        if not phase:
+            return
+        acc = self._phase_acc.get(phase)
+        if acc is None:
+            acc = np.zeros((3, self.n_ranks))
+            self._phase_acc[phase] = acc
+        acc[0, ranks] += cost.S
+        acc[1, ranks] += cost.W
+        acc[2, ranks] += cost.F
+
+    def _record(self, label: str, group_size: int, cost: Cost) -> None:
+        if self.trace_enabled:
+            self.trace.append(TraceEvent(label, group_size, cost, self.current_phase()))
+
+    # -- results -------------------------------------------------------------------
+
+    def time(self) -> float:
+        """Simulated critical-path execution time in seconds."""
+        return self.counters.critical_path()[0]
+
+    def critical_path(self) -> Cost:
+        """(S, W, F) along the critical path (counters of the slowest rank)."""
+        return self.counters.critical_path()[1]
+
+    def max_counters(self) -> Cost:
+        """Componentwise per-rank maxima of (S, W, F)."""
+        return self.counters.max_counters()
+
+    def total_volume(self) -> Cost:
+        """Sum of all charges over all ranks (communication volume view)."""
+        return self.counters.total
+
+    def reset(self) -> None:
+        """Zero all clocks, counters, memory, traces and phase attributions."""
+        self.counters = CounterSet(self.n_ranks)
+        self.memory.reset()
+        self.trace.clear()
+        self._phase_acc.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine(n_ranks={self.n_ranks}, params={self.params.name!r})"

@@ -1,0 +1,27 @@
+"""Parallel matrix multiplication (paper Section III).
+
+* :func:`~repro.mm.mm3d.mm3d` — the paper's MM algorithm: 3D multiplication
+  operating from a 2D cyclic distribution on a ``p1*sqrt(p2) x p1*sqrt(p2)``
+  grid (``p2 = 1`` gives the classical 2D algorithm);
+* :func:`~repro.mm.mm1d.mm1d` — the one-large-dimension variant (``n < k/p``);
+* :mod:`~repro.mm.dispatch` — regime classification (one/two/three large
+  dimensions, Section II-C2) and a-priori grid selection;
+* :mod:`~repro.mm.cost_model` — the line-by-line and leading-order analytic
+  costs of Section III-A.
+"""
+
+from repro.mm.mm3d import mm3d
+from repro.mm.mm1d import mm1d
+from repro.mm.dispatch import MMRegime, choose_mm_split, classify_mm
+from repro.mm.cost_model import mm3d_cost, mm3d_cost_lines, mm_bandwidth_lower_bound
+
+__all__ = [
+    "mm3d",
+    "mm1d",
+    "MMRegime",
+    "classify_mm",
+    "choose_mm_split",
+    "mm3d_cost",
+    "mm3d_cost_lines",
+    "mm_bandwidth_lower_bound",
+]

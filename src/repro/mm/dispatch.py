@@ -1,0 +1,84 @@
+"""MM regime classification and a-priori grid selection (Section II-C2).
+
+The bandwidth-optimal processor layout for ``(n x n) @ (n x k)`` on ``p``
+processors depends on the shape ratio:
+
+* ``n > k * sqrt(p)`` — **two large dimensions**: 2D grid (``p2 = 1``);
+* ``k/p <= n <= k * sqrt(p)`` — **three large dimensions**: 3D grid;
+* ``n < k/p`` — **one large dimension**: 1D grid.
+
+``choose_mm_split`` realizes the paper's "determine optimal ... processor
+grids a priori": it enumerates every valid split ``sqrt(p) = p1 * sqrt(p2)``
+and picks the one minimizing the modeled execution time under the given
+machine constants.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError, require
+from repro.mm.cost_model import mm3d_cost
+from repro.util.mathutil import is_power_of_two
+
+
+class MMRegime(enum.Enum):
+    """Which of the paper's three MM cases applies."""
+
+    ONE_LARGE = "1D"
+    TWO_LARGE = "2D"
+    THREE_LARGE = "3D"
+
+
+def classify_mm(n: int, k: int, p: int) -> MMRegime:
+    """The Section II-C2 three-case split for ``(n x n) @ (n x k)``."""
+    require(n >= 1 and k >= 1 and p >= 1, ParameterError, "n, k, p must be >= 1")
+    if n > k * math.sqrt(p):
+        return MMRegime.TWO_LARGE
+    if n < k / p:
+        return MMRegime.ONE_LARGE
+    return MMRegime.THREE_LARGE
+
+
+def valid_mm_splits(p: int) -> list[tuple[int, int]]:
+    """All ``(p1, p2)`` with ``p1^2 * p2 == p`` and integer ``sqrt(p2)``.
+
+    Equivalently all factorizations ``sqrt(p) = p1 * sqrt(p2)``; requires
+    ``p`` to be an even power of two (square with power-of-two side).
+    """
+    require(is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}")
+    sp = math.isqrt(p)
+    require(sp * sp == p, ParameterError, f"p={p} must be a perfect square")
+    out = []
+    sq = 1
+    while sq <= sp:
+        if sp % sq == 0:
+            out.append((sp // sq, sq * sq))
+        sq *= 2
+    return out
+
+
+def choose_mm_split(
+    n: int,
+    k: int,
+    p: int,
+    params: CostParams | None = None,
+    m: int | None = None,
+) -> tuple[int, int]:
+    """The ``(p1, p2)`` split minimizing the modeled MM time.
+
+    With the default (bandwidth-dominated) machine constants this lands on
+    the paper's asymptotic optimum ``p1 ~ (p n / k)^{1/3}`` in the
+    three-large-dimensions regime, ``p1 = sqrt(p)`` in the 2D regime and
+    ``p1 = 1`` in the 1D regime.
+    """
+    params = params or CostParams()
+    best: tuple[float, tuple[int, int]] | None = None
+    for p1, p2 in valid_mm_splits(p):
+        t = mm3d_cost(n, k, p1, p2, m=m).time(params)
+        if best is None or t < best[0]:
+            best = (t, (p1, p2))
+    assert best is not None
+    return best[1]

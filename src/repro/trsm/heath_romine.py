@@ -1,0 +1,79 @@
+"""Heath-Romine parallel triangular solve for a single right-hand side.
+
+The paper cites this (Section II-C3) as the communication-optimal schedule
+for ``k = 1`` — and as the motivation for doing something smarter when
+``k > 1``: substitution on one vector is inherently serial in ``n`` steps,
+so its latency cost is Theta(n) no matter how many processors participate.
+
+We implement the column-cyclic *fan-in* variant: processor ``j mod p`` owns
+column ``j``.  At step ``j`` the owner receives the accumulated inner
+products for row ``j``, computes ``x_j``, and locally folds ``x_j`` into
+its running partial sums for all later rows; the partial for row ``j+1``
+is summed across processors with one (pipelinable) reduction of a single
+word.  Charged cost per step: one message round (``S = 1``), two words, and
+the local update flops — ``S = Theta(n)`` total, which is the behaviour the
+latency benches contrast with the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.triangular import (
+    require_lower_triangular,
+    require_nonsingular_triangular,
+    require_square,
+)
+from repro.machine.cost import Cost
+from repro.machine.machine import Machine
+from repro.machine.validate import ShapeError, require
+
+
+def heath_romine_trsv(
+    machine: Machine,
+    L: np.ndarray,
+    b: np.ndarray,
+    check: bool = True,
+) -> np.ndarray:
+    """Solve ``L x = b`` (single RHS) on all ranks of ``machine``.
+
+    Columns are dealt cyclically to the ``p`` ranks.  Returns the solution
+    vector; the machine's counters hold the Theta(n)-latency schedule cost.
+    """
+    L = np.asarray(L, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    n = require_square(L, "L")
+    require(b.shape[0] == n, ShapeError, f"b has {b.shape[0]} entries, L is {n} x {n}")
+    if check:
+        require_lower_triangular(L, "L")
+        require_nonsingular_triangular(L, "L")
+
+    p = machine.n_ranks
+    group = list(range(p))
+    # partial[r][i] = sum over owned columns j < current of L[i, j] * x[j]
+    partial = {r: np.zeros(n) for r in group}
+    x = np.zeros(n)
+
+    for j in range(n):
+        owner = j % p
+        # Fan-in: the owner needs sum_r partial[r][j].  One pipelined
+        # single-word reduction per step.
+        s = sum(partial[r][j] for r in group)
+        if p > 1:
+            machine.charge(
+                group, Cost(S=1.0, W=2.0, F=1.0), label="heath_romine.fanin"
+            )
+        x[j] = (b[j] - s) / L[j, j]
+        machine.charge(
+            [owner], Cost(S=0.0, W=0.0, F=1.0), label="heath_romine.solve", sync=False
+        )
+        # Owner folds x_j into its partial sums for the rows below.
+        if j + 1 < n:
+            partial[owner][j + 1 :] += L[j + 1 :, j] * x[j]
+            machine.charge(
+                [owner],
+                Cost(S=0.0, W=0.0, F=float(n - j - 1)),
+                label="heath_romine.update",
+                sync=False,
+            )
+    return x

@@ -1,0 +1,364 @@
+"""It-Inv-TRSM (Section VI-B): the paper's main contribution.
+
+Solves ``L X = B`` on a ``p1 x p1 x p2`` processor grid by first inverting
+the ``n/n0`` diagonal blocks of ``L`` (Diagonal-Inverter, each block on its
+own subgrid, all concurrent), then running ``n/n0`` iterations in which the
+latency-bound small triangular solves of the classical algorithm are
+replaced by **matrix multiplications with the pre-inverted blocks**:
+
+* *solve* (lines 4-5): ``X(Si) = inv(L(Si,Si)) @ B(Si)`` — a local product
+  with the owned pieces, summed with one allreduce over the ``x`` fibers;
+* *update* (lines 6-9): broadcast the panel ``L(Ti+1, Si)`` along the ``z``
+  fibers, accumulate ``L(Ti+1,Si) @ X(Si)`` into per-``y`` partial buffers,
+  and reduce **only the next block row** ``S_{i+1}`` over the ``y`` fibers
+  (deferring the rest is what keeps every word reduced exactly once).
+
+Distribution conventions (all index arithmetic is cyclic over ``p1`` rows):
+
+* ``L`` lives on the ``z = 0`` plane, ``L`` pieces at ``(x, y, 0)`` hold
+  rows ``= x (mod p1)``, columns ``= y (mod p1)``;
+* ``B`` enters on the ``y = 0`` plane at ``(x, 0, z)`` holding rows
+  ``= x (mod p1)`` and the ``z``-th contiguous column slab (``k/p2``
+  columns), and is replicated across ``y`` in a setup broadcast (the
+  paper's line-2 broadcast, extended to all of ``B``; see DESIGN.md);
+* the inverted diagonal pieces are replicated along ``z`` and transposed
+  across ``(x, y)`` once in setup, which carries the ``n0^2/p1^2 * 1_{p2}``
+  per-iteration term of the paper's ``W_Solve`` as a one-off charge of the
+  same total size.
+
+``X`` returns on the ``y = 0`` plane distributed exactly like ``B``.
+Phase attribution (``machine.phase``): "inversion", "solve", "update",
+"setup" — the E6 bench compares each against the Section VII formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layout import CyclicLayout, Layout
+from repro.dist.triangular import (
+    require_lower_triangular,
+    require_nonsingular_triangular,
+    require_square,
+)
+from repro.machine.collectives import _log2_ceil, allreduce, bcast, sendrecv
+from repro.machine.cost import Cost
+from repro.machine.machine import Machine
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import GridError, ParameterError, ShapeError, require
+from repro.trsm.diagonal_inverter import diagonal_inverter
+from repro.util.mathutil import split_indices
+
+
+class _RowCyclicColBlocked(Layout):
+    """Rows block-cyclic over ``pr`` with physical block size ``b``,
+    columns in ``pc`` contiguous slabs.
+
+    This is the paper's layout for ``B`` on the ``(x, z)`` plane — the
+    Require clause's "blocked layout with a physical block size of
+    ``b x k/p2``".  ``b = 1`` (the default everywhere) is element-cyclic.
+    """
+
+    def __init__(self, pr: int, pc: int, b: int = 1):
+        if b < 1:
+            raise ValueError(f"row block size must be >= 1, got {b}")
+        self.pr = pr
+        self.pc = pc
+        self.b = int(b)
+
+    def row_indices(self, x: int, m: int) -> np.ndarray:
+        if self.b == 1:
+            return np.arange(x, m, self.pr)
+        i = np.arange(m)
+        return i[(i // self.b) % self.pr == x]
+
+    def col_indices(self, y: int, n: int) -> np.ndarray:
+        lo, hi = split_indices(n, self.pc)[y]
+        return np.arange(lo, hi)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RowCyclicColBlocked) and (
+            (self.pr, self.pc, self.b) == (other.pr, other.pc, other.b)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("_RowCyclicColBlocked", self.pr, self.pc, self.b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_RowCyclicColBlocked(pr={self.pr}, pc={self.pc}, b={self.b})"
+
+
+def it_inv_trsm(
+    machine: Machine,
+    grid3d: ProcessorGrid,
+    L: DistMatrix,
+    B: DistMatrix,
+    n0: int,
+    base_n: int = 8,
+    Ltilde: DistMatrix | None = None,
+) -> DistMatrix:
+    """Solve ``L X = B`` with selective diagonal-block inversion.
+
+    ``grid3d`` must be ``p1 x p1 x p2``; ``L`` cyclic on its ``z = 0``
+    plane; ``B`` on its ``y = 0`` plane in the row-cyclic/column-blocked
+    layout.  ``n0`` must divide ``n``.  Returns ``X`` distributed like
+    ``B``.
+
+    ``Ltilde`` may supply pre-inverted diagonal blocks from a previous
+    solve against the same ``L`` (see :class:`~repro.trsm.prepared.
+    PreparedTrsm`), skipping the inversion phase entirely — the paper's
+    Section II-C3 amortization across repeated solves.
+    """
+    require(grid3d.ndim == 3, GridError, f"need a 3D grid, got {grid3d.shape}")
+    p1a, p1b, p2 = grid3d.shape
+    require(
+        p1a == p1b,
+        GridError,
+        f"grid must be p1 x p1 x p2, got {grid3d.shape}",
+    )
+    p1 = p1a
+    n = require_square(L, "L")
+    require(B.shape[0] == n, ShapeError, "B row count must match L")
+    require(n % n0 == 0 and n0 >= 1, ParameterError, f"n0={n0} must divide n={n}")
+    k = B.shape[1]
+    nb = n // n0
+    col_slabs = split_indices(k, p2)
+
+    Lg_check = L.to_global()
+    require_lower_triangular(Lg_check, "L")
+    require_nonsingular_triangular(Lg_check, "L")
+
+    # ---------------- phase: inversion (Diagonal-Inverter) -------------------
+    if Ltilde is None:
+        with machine.phase("inversion"):
+            Ltilde = diagonal_inverter(L, n0, pool=grid3d.ranks(), base_n=base_n)
+
+    # Local views of the global operands (assembled from owned blocks only).
+    Lg = L.to_global()
+    Dg = Ltilde.to_global()
+
+    # Row-ownership classes.  The paper's B layout has a physical row block
+    # size b (Require clause); the algorithm is valid for any partition of
+    # the rows into p1 classes as long as L's column classes and B's row
+    # classes coincide, so we derive the partition from B's layout.
+    row_block = int(getattr(B.layout, "b", 1))
+    if row_block == 1:
+        rows_of = [np.arange(c, n, p1) for c in range(p1)]
+    else:
+        idx = np.arange(n)
+        rows_of = [idx[(idx // row_block) % p1 == c] for c in range(p1)]
+
+    # ---------------- phase: setup (replications) ----------------------------
+    # B: broadcast each (x, z) block along its y fiber; afterwards every
+    # (x, y, z) holds a private running copy of B(rows = x, slab z).
+    Brep: dict[tuple[int, int, int], np.ndarray] = {}
+    with machine.phase("setup"):
+        for x in range(p1):
+            for z in range(p2):
+                fiber = grid3d.fiber(1, (x, 0, z))
+                root = grid3d.rank((x, 0, z))
+                block = B.blocks[root]
+                got = bcast(machine, fiber, root, block, label="itinv.setup_bcastB")
+                for y in range(p1):
+                    Brep[(x, y, z)] = got[grid3d.rank((x, y, z))].copy()
+
+    # Diagonal-inverse pieces: replicate along z, then transpose (x, y).
+    # After this, (x, y, z) holds piece_T[b] = Dinv_b[rows = y, cols = x].
+    # The paper charges this replication inside the per-iteration solve MMs
+    # (the n0^2/p1^2 * 1_{p2} term of W_Solve); we realize the same total
+    # volume once up front, attributed to the "solve" phase accordingly.
+    piecesT: dict[tuple[int, int], list[np.ndarray]] = {}
+    for x in range(p1):
+        for y in range(p1):
+            piece = [
+                Dg[np.ix_(
+                    rows_of[y][(rows_of[y] >= b * n0) & (rows_of[y] < (b + 1) * n0)],
+                    rows_of[x][(rows_of[x] >= b * n0) & (rows_of[x] < (b + 1) * n0)],
+                )]
+                for b in range(nb)
+            ]
+            piecesT[(x, y)] = piece
+    with machine.phase("solve"):
+        for x in range(p1):
+            for y in range(p1):
+                if p2 > 1:
+                    fiber = grid3d.fiber(2, (x, y, 0))
+                    words = sum(pc.size for pc in piecesT[(x, y)])
+                    machine.charge(
+                        fiber,
+                        machine.coll.bcast(p2, float(words)),
+                        label="itinv.solve_bcastD",
+                    )
+                if x != y:
+                    for z in range(p2):
+                        a = grid3d.rank((x, y, z))
+                        bb = grid3d.rank((y, x, z))
+                        if a < bb:
+                            w = float(sum(pc.size for pc in piecesT[(x, y)]))
+                            machine.charge(
+                                [a, bb],
+                                Cost(S=1.0, W=w, F=0.0),
+                                label="itinv.solve_transposeD",
+                            )
+
+    # Working set per rank: the replicated B copy, the update accumulator,
+    # the X pieces and the transposed diagonal-inverse pieces.
+    for x in range(p1):
+        for y in range(p1):
+            piece_words = float(sum(pc.size for pc in piecesT[(x, y)]))
+            for z in range(p2):
+                machine.memory.observe(
+                    grid3d.rank((x, y, z)),
+                    3.0 * Brep[(x, y, z)].size + piece_words,
+                )
+
+    # Per-rank accumulators for the deferred updates (the paper's B_y).
+    Acc: dict[tuple[int, int, int], np.ndarray] = {
+        (x, y, z): np.zeros_like(Brep[(x, y, z)])
+        for x in range(p1)
+        for y in range(p1)
+        for z in range(p2)
+    }
+    # X output pieces: (x, y, z) accumulates X(rows = y, slab z).
+    Xrep: dict[tuple[int, int, int], np.ndarray] = {
+        (x, y, z): np.zeros((len(rows_of[y]), col_slabs[z][1] - col_slabs[z][0]))
+        for x in range(p1)
+        for y in range(p1)
+        for z in range(p2)
+    }
+
+    for i in range(nb):
+        lo, hi = i * n0, (i + 1) * n0
+
+        # ---------------- phase: solve (lines 4-5) ---------------------------
+        with machine.phase("solve"):
+            partials: dict[tuple[int, int, int], np.ndarray] = {}
+            flops: dict[int, Cost] = {}
+            for x in range(p1):
+                for y in range(p1):
+                    for z in range(p2):
+                        sel_x = (rows_of[x] >= lo) & (rows_of[x] < hi)
+                        piece = piecesT[(x, y)][i]  # Dinv_i[rows=y, cols=x]
+                        bpart = Brep[(x, y, z)][sel_x, :]
+                        partials[(x, y, z)] = piece @ bpart
+                        flops[grid3d.rank((x, y, z))] = Cost(
+                            0.0, 0.0, float(piece.shape[0]) * piece.shape[1] * bpart.shape[1]
+                        )
+            machine.charge_local(flops, label="itinv.solve_local")
+            for y in range(p1):
+                for z in range(p2):
+                    fiber = grid3d.fiber(0, (0, y, z))
+                    contribs = {
+                        grid3d.rank((x, y, z)): partials[(x, y, z)] for x in range(p1)
+                    }
+                    summed = allreduce(machine, fiber, contribs, label="itinv.solve_allreduce")
+                    sel_y = (rows_of[y] >= lo) & (rows_of[y] < hi)
+                    for x in range(p1):
+                        Xrep[(x, y, z)][sel_y, :] = summed[grid3d.rank((x, y, z))]
+
+        if i + 1 >= nb:
+            break
+
+        # ---------------- phase: update (lines 6-9) ---------------------------
+        with machine.phase("update"):
+            nlo, nhi = (i + 1) * n0, (i + 2) * n0
+            upd_flops: dict[int, Cost] = {}
+            for x in range(p1):
+                for y in range(p1):
+                    sel_rx = rows_of[x] >= hi  # T_{i+1} rows owned by x
+                    sel_cy = (rows_of[y] >= lo) & (rows_of[y] < hi)
+                    panel = Lg[np.ix_(rows_of[x][sel_rx], rows_of[y][sel_cy])]
+                    if p2 > 1:
+                        fiber = grid3d.fiber(2, (x, y, 0))
+                        machine.charge(
+                            fiber,
+                            machine.coll.bcast(p2, float(panel.size)),
+                            label="itinv.update_bcast_panel",
+                        )
+                    for z in range(p2):
+                        xs = Xrep[(x, y, z)][(rows_of[y] >= lo) & (rows_of[y] < hi), :]
+                        contrib = panel @ xs
+                        Acc[(x, y, z)][sel_rx, :] += contrib
+                        upd_flops[grid3d.rank((x, y, z))] = Cost(
+                            0.0,
+                            0.0,
+                            float(panel.shape[0]) * panel.shape[1] * xs.shape[1],
+                        )
+            machine.charge_local(upd_flops, label="itinv.update_local")
+            for x in range(p1):
+                for z in range(p2):
+                    fiber = grid3d.fiber(1, (x, 0, z))
+                    sel_next = (rows_of[x] >= nlo) & (rows_of[x] < nhi)
+                    contribs = {
+                        grid3d.rank((x, y, z)): Acc[(x, y, z)][sel_next, :]
+                        for y in range(p1)
+                    }
+                    summed = allreduce(machine, fiber, contribs, label="itinv.update_allreduce")
+                    for y in range(p1):
+                        Brep[(x, y, z)][sel_next, :] -= summed[grid3d.rank((x, y, z))]
+
+    # ---------------- final transpose back to the B layout --------------------
+    with machine.phase("setup"):
+        for z in range(p2):
+            for x in range(p1):
+                for y in range(x, p1):
+                    a = grid3d.rank((x, y, z))
+                    bb = grid3d.rank((y, x, z))
+                    if a != bb:
+                        sendrecv(
+                            machine,
+                            a,
+                            bb,
+                            Xrep[(x, y, z)],
+                            Xrep[(y, x, z)],
+                            label="itinv.final_transpose",
+                        )
+
+    # After the exchange, rank (x, 0, z) holds the array produced at
+    # (0, x, z), i.e. X(rows = x (mod p1), column slab z) — B's layout.
+    out_grid = grid3d.plane(1, 0)  # the (x, z) plane, shape p1 x p2
+    layout = _RowCyclicColBlocked(p1, p2, b=row_block)
+    blocks = {
+        out_grid.rank((x, z)): Xrep[(0, x, z)]
+        for x in range(p1)
+        for z in range(p2)
+    }
+    return DistMatrix(machine, out_grid, layout, (n, k), blocks)
+
+
+def it_inv_trsm_global(
+    machine: Machine,
+    L_global: np.ndarray,
+    B_global: np.ndarray,
+    p1: int,
+    p2: int,
+    n0: int,
+    base_n: int = 8,
+    row_block: int = 1,
+) -> DistMatrix:
+    """Distribute ``L``/``B`` per the paper's conventions and solve.
+
+    ``row_block`` is the paper's physical row block size ``b`` for ``B``;
+    ``L`` is distributed with the matching block-cyclic partition so the
+    two operands' row/column classes align.
+    """
+    from repro.dist.layout import BlockCyclicLayout
+
+    n = L_global.shape[0]
+    B2 = np.asarray(B_global, dtype=np.float64).reshape(n, -1)
+    grid3d = machine.grid(p1, p1, p2)
+    plane_L = grid3d.plane(2, 0)
+    plane_B = grid3d.plane(1, 0)
+    L_layout = (
+        CyclicLayout(p1, p1)
+        if row_block == 1
+        else BlockCyclicLayout(p1, p1, br=row_block, bc=row_block)
+    )
+    L = DistMatrix.from_global(
+        machine, plane_L, L_layout, np.asarray(L_global, dtype=np.float64)
+    )
+    B = DistMatrix.from_global(
+        machine, plane_B, _RowCyclicColBlocked(p1, p2, b=row_block), B2
+    )
+    return it_inv_trsm(machine, grid3d, L, B, n0=n0, base_n=base_n)

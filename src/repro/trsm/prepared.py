@@ -1,0 +1,145 @@
+"""PreparedTrsm: invert once, solve many (Section II-C3 amortization).
+
+The paper cites Raghavan's selective inversion for "repeated triangular
+solves that arise in preconditioned sparse iterative methods": the factor
+``L`` is fixed across hundreds of applications, so the Diagonal-Inverter's
+one-off cost amortizes away and each application is pure matrix
+multiplication.  ``PreparedTrsm`` packages that pattern:
+
+    solver = PreparedTrsm(L, p=64)          # runs the Diagonal-Inverter
+    X1 = solver.solve(B1)                   # solve + update phases only
+    X2 = solver.solve(B2)                   # ...
+    solver.preparation_cost                 # the amortized one-off
+    solver.last_solve_cost                  # per-application cost
+
+Every call runs on a fresh machine seeded with the prepared inverse, so
+per-application costs are measured independently and are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layout import CyclicLayout
+from repro.machine.cost import Cost, CostParams
+from repro.machine.machine import Machine
+from repro.machine.validate import ParameterError, ShapeError, require
+from repro.trsm.diagonal_inverter import diagonal_inverter
+from repro.trsm.iterative import _RowCyclicColBlocked, it_inv_trsm
+from repro.tuning.parameters import TuningChoice, tuned_parameters
+from repro.util.checking import relative_residual
+from repro.util.mathutil import is_power_of_two
+
+
+class PreparedTrsm:
+    """A triangular factor with pre-inverted diagonal blocks."""
+
+    def __init__(
+        self,
+        L: np.ndarray,
+        p: int,
+        k_hint: int = 1,
+        params: CostParams | None = None,
+        n0: int | None = None,
+        base_n: int = 8,
+    ):
+        """Run the Diagonal-Inverter for ``L`` on ``p`` simulated processors.
+
+        ``k_hint`` is the expected right-hand-side count, used only for the
+        a-priori parameter choice (Section VIII needs the shape ratio).
+        """
+        require(is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}")
+        self.L = np.asarray(L, dtype=np.float64)
+        require(
+            self.L.ndim == 2 and self.L.shape[0] == self.L.shape[1],
+            ShapeError,
+            "L must be square",
+        )
+        self.n = self.L.shape[0]
+        self.p = p
+        self.params = params or CostParams()
+        self.base_n = base_n
+
+        choice = tuned_parameters(self.n, max(k_hint, 1), p)
+        if n0 is not None:
+            require(self.n % n0 == 0, ParameterError, f"n0={n0} must divide n={self.n}")
+            choice = TuningChoice(
+                regime=choice.regime,
+                p1=choice.p1,
+                p2=choice.p2,
+                n0=n0,
+                r1=choice.r1,
+                r2=choice.r2,
+            )
+        self.choice = choice
+
+        # One-off preparation on its own machine.
+        machine = Machine(p, params=self.params)
+        grid3d = machine.grid(choice.p1, choice.p1, choice.p2)
+        plane_L = grid3d.plane(2, 0)
+        Ld = DistMatrix.from_global(
+            machine, plane_L, CyclicLayout(choice.p1, choice.p1), self.L
+        )
+        with machine.phase("inversion"):
+            self._Ltilde_global = diagonal_inverter(
+                Ld, choice.n0, pool=grid3d.ranks(), base_n=base_n
+            ).to_global()
+        self.preparation_cost: Cost = machine.critical_path()
+        self.preparation_time: float = machine.time()
+        self.last_solve_cost: Cost | None = None
+        self.last_solve_time: float | None = None
+        self.solves: int = 0
+
+    def solve(self, B: np.ndarray, verify: bool = True) -> np.ndarray:
+        """Apply ``inv(L)`` to a new right-hand side batch.
+
+        Runs only the solve/update phases (the prepared inverse is reused),
+        on a fresh machine so the measured cost is per-application.
+        """
+        Bv = np.asarray(B, dtype=np.float64)
+        vector = Bv.ndim == 1
+        require(
+            Bv.shape[0] == self.n,
+            ShapeError,
+            f"B has {Bv.shape[0]} rows, L is {self.n} x {self.n}",
+        )
+        B2 = Bv.reshape(self.n, -1)
+        c = self.choice
+
+        machine = Machine(self.p, params=self.params)
+        grid3d = machine.grid(c.p1, c.p1, c.p2)
+        plane_L = grid3d.plane(2, 0)
+        plane_B = grid3d.plane(1, 0)
+        lay_L = CyclicLayout(c.p1, c.p1)
+        Ld = DistMatrix.from_global(machine, plane_L, lay_L, self.L)
+        Ltilde = DistMatrix.from_global(machine, plane_L, lay_L, self._Ltilde_global)
+        Bd = DistMatrix.from_global(
+            machine, plane_B, _RowCyclicColBlocked(c.p1, c.p2), B2
+        )
+        Xd = it_inv_trsm(
+            machine, grid3d, Ld, Bd, n0=c.n0, base_n=self.base_n, Ltilde=Ltilde
+        )
+        X = Xd.to_global()
+        self.last_solve_cost = machine.critical_path()
+        self.last_solve_time = machine.time()
+        self.solves += 1
+        if verify:
+            resid = relative_residual(self.L, X, B2)
+            require(
+                bool(resid < 1e-8) or not np.all(np.isfinite(B2)),
+                ShapeError,
+                f"prepared solve verification failed (residual {resid:.3e})",
+            )
+        return X[:, 0] if vector else X
+
+    def amortized_time(self, applications: int) -> float:
+        """Modeled total time for ``applications`` solves incl. preparation."""
+        require(applications >= 1, ParameterError, "need at least one application")
+        require(
+            self.last_solve_time is not None,
+            ParameterError,
+            "call solve() at least once before asking for amortized time",
+        )
+        return self.preparation_time + applications * float(self.last_solve_time)

@@ -1,0 +1,154 @@
+"""Top-level TRSM entry point with a-priori algorithm/parameter selection.
+
+``trsm(L, B, p=...)`` is the one-call public API: it classifies the regime
+(Section VIII), picks tuned parameters (closed forms by default, exhaustive
+model search with ``tune="search"``), allocates a simulated machine, runs
+the chosen algorithm on real data, verifies the residual, and returns a
+:class:`TrsmResult` bundling the solution with the measured critical-path
+costs and the a-priori model prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.cost import Cost, CostParams
+from repro.machine.machine import Machine
+from repro.machine.validate import ParameterError, require
+from repro.trsm.cost_model import iterative_cost, recursive_cost
+from repro.trsm.iterative import it_inv_trsm_global
+from repro.trsm.recursive import rec_trsm_global
+from repro.tuning.optimizer import optimize_parameters
+from repro.tuning.parameters import TuningChoice, tuned_parameters
+from repro.util.checking import relative_residual
+from repro.util.mathutil import is_power_of_two
+
+
+@dataclass
+class TrsmResult:
+    """Solution plus the simulation's cost accounting."""
+
+    X: np.ndarray
+    algorithm: str
+    machine: Machine
+    choice: TuningChoice | None
+    modeled: Cost
+    measured: Cost = field(init=False)
+    time: float = field(init=False)
+    residual: float | None = None
+
+    def __post_init__(self) -> None:
+        self.measured = self.machine.critical_path()
+        self.time = self.machine.time()
+
+    def phase_costs(self) -> dict[str, Cost]:
+        """Per-phase costs (iterative algorithm: inversion/solve/update)."""
+        return {
+            name: self.machine.phase_cost(name)
+            for name in self.machine.phase_names()
+        }
+
+
+def trsm(
+    L: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    algorithm: str = "auto",
+    params: CostParams | None = None,
+    tune: str = "closed_form",
+    n0: int | None = None,
+    verify: bool = True,
+    base_n: int = 8,
+) -> TrsmResult:
+    """Solve ``L X = B`` on a simulated ``p``-processor machine.
+
+    Parameters
+    ----------
+    L, B:
+        Global operands (``n x n`` lower triangular, ``n x k``; a vector
+        ``B`` is treated as ``k = 1``).
+    p:
+        Number of simulated processors (power of two).
+    algorithm:
+        ``"iterative"`` (It-Inv-TRSM, the paper's contribution),
+        ``"recursive"`` (Rec-TRSM baseline), or ``"auto"`` — iterative
+        unless ``p == 1``.
+    params:
+        Machine cost constants (``alpha, beta, gamma``).
+    tune:
+        ``"closed_form"`` — Section VIII formulas; ``"search"`` —
+        exhaustive discrete minimization of the modeled time.
+    n0:
+        Override the inverted-block size (must divide ``n``).
+    verify:
+        Compute and store the relative residual.
+    base_n:
+        Redundant-inversion cutoff passed down to ``rec_tri_inv``.
+    """
+    require(is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}")
+    L = np.asarray(L, dtype=np.float64)
+    B2 = np.asarray(B, dtype=np.float64)
+    n = L.shape[0]
+    B2 = B2.reshape(n, -1)
+    k = B2.shape[1]
+    params = params or CostParams()
+
+    if algorithm == "auto":
+        algorithm = "iterative" if p > 1 else "recursive"
+    require(
+        algorithm in ("iterative", "recursive"),
+        ParameterError,
+        f"unknown algorithm {algorithm!r}",
+    )
+
+    machine = Machine(p, params=params)
+
+    if algorithm == "recursive":
+        Xd = rec_trsm_global(machine, L, B2)
+        X = Xd.to_global()
+        result = TrsmResult(
+            X=X,
+            algorithm="recursive",
+            machine=machine,
+            choice=None,
+            modeled=recursive_cost(n, k, p),
+        )
+    else:
+        if tune == "search":
+            choice = optimize_parameters(n, k, p, params=params)
+        else:
+            require(
+                tune == "closed_form",
+                ParameterError,
+                f"unknown tune mode {tune!r}",
+            )
+            choice = tuned_parameters(n, k, p)
+        if n0 is not None:
+            require(n % n0 == 0, ParameterError, f"n0={n0} must divide n={n}")
+            choice = TuningChoice(
+                regime=choice.regime,
+                p1=choice.p1,
+                p2=choice.p2,
+                n0=n0,
+                r1=choice.r1,
+                r2=choice.r2,
+            )
+        Xd = it_inv_trsm_global(
+            machine, L, B2, p1=choice.p1, p2=choice.p2, n0=choice.n0, base_n=base_n
+        )
+        X = Xd.to_global()
+        result = TrsmResult(
+            X=X,
+            algorithm="iterative",
+            machine=machine,
+            choice=choice,
+            modeled=iterative_cost(n, k, choice.n0, choice.p1, choice.p2),
+        )
+
+    if verify:
+        result.residual = relative_residual(L, result.X, B2)
+    if np.asarray(B).ndim == 1:
+        result.X = result.X[:, 0]
+    return result

@@ -1,0 +1,129 @@
+"""BLAS-style TRSM variants mapped onto the lower-triangular core.
+
+The paper treats the canonical case — ``L X = B`` with ``L`` lower
+triangular — and notes the other cases are symmetric.  This module supplies
+the full solve surface a downstream user expects, by reducing every variant
+to the canonical one through cost-free index reversals and transposes
+(performed on the *global* operands before distribution, so they model the
+caller laying out data appropriately, exactly as a ScaLAPACK user would):
+
+* **upper triangular** ``U X = B``: with the anti-identity ``P``,
+  ``P U P`` is lower triangular and ``U X = B  <=>  (P U P)(P X) = P B``;
+* **transposed** ``L^T X = B``: ``L^T`` is upper triangular — same trick;
+* **unit diagonal**: the diagonal is taken as exactly 1 (BLAS ``diag='U'``).
+
+Every variant returns the same :class:`~repro.trsm.solver.TrsmResult`, with
+costs measured by the underlying simulated run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.triangular import require_square
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError, ShapeError, require
+from repro.trsm.solver import TrsmResult, trsm
+from repro.util.checking import relative_residual
+
+
+def _reverse(n: int) -> np.ndarray:
+    """Index vector of the anti-identity permutation."""
+    return np.arange(n)[::-1]
+
+
+def solve_triangular(
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    lower: bool = True,
+    trans: bool = False,
+    unit_diagonal: bool = False,
+    **kwargs,
+) -> TrsmResult:
+    """Solve ``op(A) X = B`` on a simulated ``p``-processor machine.
+
+    ``op(A)`` is ``A`` or ``A.T`` (``trans=True``); ``A`` is lower
+    (``lower=True``) or upper triangular.  Per BLAS semantics **only the
+    referenced triangle of ``A`` is read** — anything stored in the other
+    half (e.g. the opposite factor in a packed LU) is ignored.
+    ``unit_diagonal=True`` ignores the stored diagonal and uses 1 (the
+    factor convention of LU without pivot scaling).  Remaining keyword
+    arguments are forwarded to :func:`repro.trsm.solver.trsm`
+    (``algorithm``, ``params``, ``n0``, ...).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    n = require_square(A, "A")
+    Bv = np.asarray(B, dtype=np.float64)
+    vector = Bv.ndim == 1
+    require(
+        Bv.shape[0] == n, ShapeError, f"B has {Bv.shape[0]} rows, A is {n} x {n}"
+    )
+    B2 = Bv.reshape(n, -1)
+
+    M = A.T if trans else A
+    effectively_lower = lower != trans  # XOR: transposing flips the triangle
+    # Read only the referenced triangle (BLAS convention).
+    M = np.tril(M) if effectively_lower else np.triu(M)
+    if unit_diagonal:
+        M = M.copy()
+        np.fill_diagonal(M, 1.0)
+
+    if effectively_lower:
+        result = trsm(M, B2, p=p, **kwargs)
+        X = result.X.reshape(n, -1)
+    else:
+        rev = _reverse(n)
+        M_rev = M[np.ix_(rev, rev)]  # P M P: lower triangular
+        result = trsm(M_rev, B2[rev, :], p=p, **kwargs)
+        X = result.X.reshape(n, -1)[rev, :]
+        result.X = X
+        if result.residual is not None:
+            result.residual = relative_residual(M, X, B2)
+
+    if vector:
+        result.X = result.X.reshape(n, -1)[:, 0]
+    return result
+
+
+def solve_lu(
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    params: CostParams | None = None,
+    **kwargs,
+) -> tuple[np.ndarray, TrsmResult, TrsmResult]:
+    """Solve a general system ``A X = B`` via LU + two parallel TRSMs.
+
+    The factorization is computed locally (scipy's LAPACK binding) — the
+    paper's subject is the solve phase, which is where the communication
+    lives once a factorization exists.  Returns ``(X, forward, backward)``
+    where the two :class:`TrsmResult` objects carry the simulated costs of
+    the unit-lower and upper solves.
+    """
+    import scipy.linalg as sla
+
+    A = np.asarray(A, dtype=np.float64)
+    n = require_square(A, "A")
+    Bv = np.asarray(B, dtype=np.float64)
+    vector = Bv.ndim == 1
+    B2 = Bv.reshape(n, -1)
+
+    lu, piv = sla.lu_factor(A)
+    perm = np.arange(n)
+    for i, pv in enumerate(piv):
+        perm[i], perm[pv] = perm[pv], perm[i]
+
+    fwd = solve_triangular(
+        lu, B2[perm, :], p=p, lower=True, unit_diagonal=True, params=params, **kwargs
+    )
+    bwd = solve_triangular(
+        lu, fwd.X.reshape(n, -1), p=p, lower=False, params=params, **kwargs
+    )
+    X = bwd.X.reshape(n, -1)
+    require(
+        relative_residual(A, X, B2) < 1e-8 or n < 2,
+        ParameterError,
+        "LU solve verification failed (is A numerically singular?)",
+    )
+    return (X[:, 0] if vector else X), fwd, bwd

@@ -1,0 +1,24 @@
+"""A-priori parameter tuning (paper Section VIII).
+
+* :mod:`repro.tuning.regimes` — the 1D/2D/3D regime boundaries
+  (``n < 4k/p`` / ``n > 4k sqrt(p)`` / in between);
+* :mod:`repro.tuning.parameters` — the paper's closed-form optimal
+  ``p1, p2, n0, r1, r2`` per regime, snapped onto realizable grids;
+* :mod:`repro.tuning.optimizer` — exhaustive discrete search over valid
+  parameter combinations minimizing the modeled execution time (used to
+  validate the closed forms and for machines whose alpha/beta/gamma ratios
+  sit far from the asymptotic assumptions).
+"""
+
+from repro.tuning.regimes import TrsmRegime, classify_trsm, regime_boundaries
+from repro.tuning.parameters import TuningChoice, tuned_parameters
+from repro.tuning.optimizer import optimize_parameters
+
+__all__ = [
+    "TrsmRegime",
+    "classify_trsm",
+    "regime_boundaries",
+    "TuningChoice",
+    "tuned_parameters",
+    "optimize_parameters",
+]

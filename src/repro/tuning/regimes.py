@@ -1,0 +1,44 @@
+"""TRSM regime classification (Section VIII / Figure 1).
+
+The processor-grid layout depends on the relative sizes of ``L`` (n x n)
+and ``B`` (n x k):
+
+* ``n < 4k/p`` — **one large dimension**: 1D grid, invert everything
+  (``n0 = n``), no update phase;
+* ``n > 4k sqrt(p)`` — **two large dimensions**: 2D grid (``p2 = 1``);
+* otherwise — **three large dimensions**: full 3D grid.
+
+``regime_map`` (in :mod:`repro.analysis.regime_map`) sweeps this function
+over the (n/k, p) plane to regenerate Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.machine.validate import ParameterError, require
+
+
+class TrsmRegime(enum.Enum):
+    """Which processor-grid layout Section VIII prescribes."""
+
+    ONE_LARGE = "1D"
+    TWO_LARGE = "2D"
+    THREE_LARGE = "3D"
+
+
+def classify_trsm(n: int, k: int, p: int) -> TrsmRegime:
+    """The Section VIII case split for solving ``(n x n) X = (n x k)``."""
+    require(n >= 1 and k >= 1 and p >= 1, ParameterError, "n, k, p must be >= 1")
+    if n < 4.0 * k / p:
+        return TrsmRegime.ONE_LARGE
+    if n > 4.0 * k * math.sqrt(p):
+        return TrsmRegime.TWO_LARGE
+    return TrsmRegime.THREE_LARGE
+
+
+def regime_boundaries(k: int, p: int) -> tuple[float, float]:
+    """The two ``n`` thresholds ``(4k/p, 4k sqrt(p))`` for given ``k, p``."""
+    require(k >= 1 and p >= 1, ParameterError, "k, p must be >= 1")
+    return 4.0 * k / p, 4.0 * k * math.sqrt(p)

@@ -1,0 +1,92 @@
+"""Random test-matrix generators.
+
+TRSM correctness and stability tests need triangular matrices whose condition
+number is controlled: forward substitution on a random triangular matrix with
+entries of mixed sign is notoriously ill-conditioned (condition grows
+exponentially with n), which would make residual-based tests flaky.  The
+generators here produce well-conditioned triangular factors by dominating the
+diagonal, plus knobs to generate deliberately ill-conditioned instances for
+the stability study (bench_stability / E9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_dense(n: int, k: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Dense ``n x k`` matrix with iid uniform(-1, 1) entries."""
+    rng = _rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(n, k))
+
+
+def random_lower_triangular(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    diag_dominance: float = 2.0,
+) -> np.ndarray:
+    """Well-conditioned lower-triangular ``n x n`` matrix.
+
+    Off-diagonal entries are uniform(-1, 1) scaled by ``1/n`` so that row sums
+    stay below the diagonal magnitude; the diagonal is set to
+    ``diag_dominance`` in absolute value with random sign.  The resulting
+    condition number is O(1) in practice, making ``L x = b`` solvable to
+    near machine precision.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n!r}")
+    rng = _rng(seed)
+    L = np.tril(rng.uniform(-1.0, 1.0, size=(n, n)), k=-1) / max(n, 1)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    L[np.arange(n), np.arange(n)] = diag_dominance * signs
+    return L
+
+
+def random_unit_lower_triangular(
+    n: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Unit lower-triangular matrix (ones on the diagonal), well conditioned."""
+    L = random_lower_triangular(n, seed=seed, diag_dominance=1.0)
+    L[np.arange(n), np.arange(n)] = 1.0
+    return L
+
+
+def ill_conditioned_lower_triangular(
+    n: int,
+    condition_target: float = 1e8,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Lower-triangular matrix with geometrically decaying diagonal.
+
+    The diagonal decays from 1 down to ``1/condition_target``, giving a
+    2-norm condition number of at least ``condition_target``.  Each row's
+    off-diagonal entries are scaled by that row's diagonal magnitude so the
+    inverse norm stays ~``condition_target`` (rather than exploding
+    exponentially through the substitution recurrence) — the instance is
+    ill-conditioned but its solutions remain representable, which is what
+    the stability experiment (E9b) needs.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2 for an ill-conditioned instance")
+    rng = _rng(seed)
+    decay = condition_target ** (-np.arange(n) / (n - 1))
+    L = np.tril(rng.uniform(-1.0, 1.0, size=(n, n)), k=-1) / n
+    L *= decay[:, None]
+    L[np.arange(n), np.arange(n)] = decay
+    return L
+
+
+def random_spd(n: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Symmetric positive definite matrix with condition O(n).
+
+    Used by the Cholesky example: factor A = L L^T then run two TRSMs.
+    """
+    rng = _rng(seed)
+    G = rng.uniform(-1.0, 1.0, size=(n, n))
+    return G @ G.T + n * np.eye(n)

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import CostParams, Machine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_machine() -> Machine:
+    """A 16-rank machine with unit cost constants (time == S + W + F)."""
+    return Machine(16, params=CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit"))
+
+
+def make_machine(p: int, **kw) -> Machine:
+    return Machine(p, **kw)
+
+
+def assert_cost_close(measured, modeled, factor: float = 4.0, atol: float = 1e-9):
+    """Assert each nonzero component agrees within a multiplicative factor.
+
+    The models carry the paper's constants while the simulator counts real
+    ragged block sizes and collective constants, so agreement is asserted
+    per component up to ``factor``.
+    """
+    for name in ("S", "W", "F"):
+        a = getattr(measured, name)
+        b = getattr(modeled, name)
+        if b <= atol and a <= atol:
+            continue
+        assert a <= factor * b + atol, f"{name}: measured {a} >> modeled {b}"
+        assert b <= factor * a + atol, f"{name}: modeled {b} >> measured {a}"

@@ -1,0 +1,148 @@
+"""Analysis package: tables, regime map, asymptotic fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    conclusion_table,
+    fit_power_law,
+    format_table,
+    improvement_factors,
+    iterative_parts_table,
+    latency_ratio_prediction,
+    mm_line_table,
+    regime_map,
+    render_regime_map,
+)
+from repro.tuning.regimes import TrsmRegime
+
+
+class TestConclusionTable:
+    def test_default_covers_all_regimes(self):
+        entries = conclusion_table()
+        regimes = {e.regime for e in entries}
+        assert regimes == {
+            TrsmRegime.ONE_LARGE,
+            TrsmRegime.TWO_LARGE,
+            TrsmRegime.THREE_LARGE,
+        }
+
+    def test_3d_rows_show_improvement(self):
+        entries = [
+            e for e in conclusion_table() if e.regime is TrsmRegime.THREE_LARGE
+        ]
+        big = [e for e in entries if e.p >= 1024]
+        assert all(e.latency_ratio > 1 for e in big)
+
+    def test_custom_cases(self):
+        entries = conclusion_table([(256, 64, 64)])
+        assert len(entries) == 1
+        assert entries[0].n == 256
+
+
+class TestMMLineTable:
+    def test_model_matches_simulation_exactly(self):
+        """On divisible sizes the per-line simulated costs equal the model."""
+        rows = mm_line_table(32, 16, 2, 4)
+        assert len(rows) == 7
+        for line, model, sim in rows:
+            assert sim.S == pytest.approx(model.S), line
+            assert sim.W == pytest.approx(model.W), line
+            assert sim.F == pytest.approx(model.F), line
+
+    def test_2d_split_lines_degenerate(self):
+        rows = dict(
+            (line, (model, sim)) for line, model, sim in mm_line_table(16, 8, 4, 1)
+        )
+        model2, sim2 = rows["line2"]
+        assert model2.W == 0 and sim2.W == 0  # p2 = 1: no allgather of L
+        model3, sim3 = rows["line3"]
+        assert model3.W == 0 and sim3.W == 0  # transpose is the identity
+
+
+class TestIterativePartsTable:
+    def test_parts_within_constant_factor(self):
+        rows = iterative_parts_table(48, 24, 2, 2, 12)
+        names = [r[0] for r in rows]
+        assert names == ["inversion", "solve", "update"]
+        for name, model, sim in rows:
+            for comp in ("S", "W", "F"):
+                a, b = getattr(sim, comp), getattr(model, comp)
+                if b < 1e-9 and a < 1e-9:
+                    continue
+                assert a <= 6 * b + 1e-9, (name, comp, a, b)
+                assert b <= 6 * a + 1e-9, (name, comp, a, b)
+
+
+class TestRegimeMap:
+    def test_shape(self):
+        rmap = regime_map((-2, 2), (4, 256))
+        assert len(rmap.ratios) == 5
+        assert rmap.ps == [4, 16, 64, 256]
+        assert len(rmap.labels) == 5
+
+    def test_monotone_in_ratio(self):
+        """For fixed p, increasing n/k can only move 1D -> 3D -> 2D."""
+        order = {
+            TrsmRegime.ONE_LARGE: 0,
+            TrsmRegime.THREE_LARGE: 1,
+            TrsmRegime.TWO_LARGE: 2,
+        }
+        rmap = regime_map((-8, 8), (4, 4096))
+        for j in range(len(rmap.ps)):
+            col = [rmap.labels[i][j] for i in range(len(rmap.ratios))]
+            ranks = [order[r] for r in col]  # ratios ascending
+            assert ranks == sorted(ranks)
+
+    def test_large_p_widens_3d_band(self):
+        rmap = regime_map((-8, 8), (4, 65536))
+        count_small = sum(
+            1 for row in rmap.labels if row[0] is TrsmRegime.THREE_LARGE
+        )
+        count_large = sum(
+            1 for row in rmap.labels if row[-1] is TrsmRegime.THREE_LARGE
+        )
+        assert count_large > count_small
+
+    def test_render_contains_legend(self):
+        text = render_regime_map(regime_map((-2, 2), (4, 64)))
+        assert "one large dimension" in text
+        assert "3" in text
+
+
+class TestAsymptotics:
+    def test_fit_power_law_recovers_exponent(self):
+        xs = [2.0**i for i in range(4, 12)]
+        ys = [7.0 * x**1.5 for x in xs]
+        e, c = fit_power_law(xs, ys)
+        assert e == pytest.approx(1.5, abs=1e-9)
+        assert c == pytest.approx(7.0, rel=1e-6)
+
+    def test_fit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 1.0])
+
+    def test_improvement_factors_3d(self):
+        imp = improvement_factors(1024, 256, 4096)
+        assert imp.regime is TrsmRegime.THREE_LARGE
+        assert imp.latency_ratio > 1
+        assert imp.bandwidth_ratio == pytest.approx(1.0)
+        assert imp.flop_ratio == pytest.approx(0.5)  # new method does 2x flops
+
+    def test_prediction_regime_dispatch(self):
+        assert latency_ratio_prediction(1024, 256, 4096) == pytest.approx(
+            4 ** (1 / 6) * 4096 ** (2 / 3)
+        )
+        assert latency_ratio_prediction(4, 4096, 64) < 1
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.00001]], title="T")
+        assert "T" in text and "a" in text and "bb" in text
+        assert "2.5" in text
+        assert "1.000e-05" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text

@@ -1,0 +1,65 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestSolve:
+    def test_solve_default(self, capsys):
+        assert main(["solve", "-n", "32", "-k", "8", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm : iterative" in out
+        assert "residual" in out
+
+    def test_solve_recursive(self, capsys):
+        assert (
+            main(["solve", "-n", "16", "-k", "4", "-p", "4", "--algorithm", "recursive"])
+            == 0
+        )
+        assert "recursive" in capsys.readouterr().out
+
+    def test_solve_search_tuning(self, capsys):
+        assert (
+            main(["solve", "-n", "32", "-k", "8", "-p", "4", "--tune", "search"]) == 0
+        )
+        assert "parameters" in capsys.readouterr().out
+
+    def test_solve_machine_preset(self, capsys):
+        assert (
+            main(["solve", "-n", "16", "-k", "4", "-p", "4", "--machine", "latency_bound"])
+            == 0
+        )
+        assert "latency_bound" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_tune(self, capsys):
+        assert main(["tune", "-n", "128", "-k", "32", "-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "closed form" in out and "model search" in out and "recursive" in out
+
+    def test_map(self, capsys):
+        assert main(["map", "--ratio-min", "-2", "--ratio-max", "2", "--p-max", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "one large dimension" in out
+
+    def test_table(self, capsys):
+        assert main(["table", "-n", "256", "-k", "64", "--p-max", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "S ratio" in out
+
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "latency_bound" in out and "alpha" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,256 @@
+"""Collectives: data correctness + exact Section II-C1 cost charging."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CostParams, Machine
+from repro.machine.collectives import (
+    allgather,
+    allgather_blocks,
+    allreduce,
+    alltoall,
+    bcast,
+    gather,
+    grid_transpose,
+    reduce,
+    reduce_scatter,
+    scatter,
+    send,
+    sendrecv,
+)
+from repro.machine.validate import ShapeError
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+def machine(p=8):
+    return Machine(p, params=UNIT)
+
+
+def lg(g):
+    return int(math.ceil(math.log2(g))) if g > 1 else 0
+
+
+class TestAllgather:
+    def test_concatenates_in_group_order(self):
+        m = machine()
+        group = [3, 1, 5]
+        out = allgather(m, group, {r: np.full(2, float(r)) for r in group})
+        for r in group:
+            assert np.allclose(out[r], [3, 3, 1, 1, 5, 5])
+
+    def test_cost_formula(self):
+        m = machine()
+        group = [0, 1, 2, 3]
+        allgather(m, group, {r: np.ones(5) for r in group})
+        cp = m.critical_path()
+        assert cp.S == lg(4)
+        assert cp.W == 20  # result size
+        assert cp.F == 0
+
+    def test_singleton_group_free(self):
+        m = machine()
+        out = allgather(m, [2], {2: np.ones(3)})
+        assert m.time() == 0.0
+        assert np.allclose(out[2], 1)
+
+    def test_axis_concatenation(self):
+        m = machine()
+        group = [0, 1]
+        out = allgather(
+            m, group, {r: np.full((2, 1), float(r)) for r in group}, axis=1
+        )
+        assert out[0].shape == (2, 2)
+
+    def test_missing_contribution_rejected(self):
+        m = machine()
+        with pytest.raises(ShapeError):
+            allgather(m, [0, 1], {0: np.ones(1)})
+
+    def test_allgather_blocks_keeps_identity(self):
+        m = machine()
+        group = [4, 2]
+        out = allgather_blocks(m, group, {4: np.ones(3), 2: np.zeros(2)})
+        assert np.allclose(out[2][4], 1) and np.allclose(out[2][2], 0)
+        assert m.critical_path().W == 5
+
+
+class TestScatterGather:
+    def test_scatter_delivers_chunks(self):
+        m = machine()
+        group = [0, 1, 2]
+        chunks = [np.full(2, float(i)) for i in range(3)]
+        out = scatter(m, group, 0, chunks)
+        assert np.allclose(out[1], 1.0)
+        assert m.critical_path() .W == 6
+
+    def test_scatter_wrong_chunk_count(self):
+        m = machine()
+        with pytest.raises(ShapeError):
+            scatter(m, [0, 1], 0, [np.ones(1)])
+
+    def test_scatter_root_not_in_group(self):
+        m = machine()
+        with pytest.raises(ShapeError):
+            scatter(m, [0, 1], 5, [np.ones(1), np.ones(1)])
+
+    def test_gather_collects_in_order(self):
+        m = machine()
+        group = [2, 0, 1]
+        out = gather(m, group, 2, {r: np.full(1, float(r)) for r in group})
+        assert [int(a[0]) for a in out] == [2, 0, 1]
+        assert m.critical_path().S == lg(3)
+
+
+class TestReductions:
+    def test_reduce_scatter_sums_and_splits(self):
+        m = machine()
+        group = [0, 1, 2, 3]
+        out = reduce_scatter(m, group, {r: np.arange(8.0) for r in group})
+        assert np.allclose(out[1], 4 * np.arange(8.0)[2:4])
+        cp = m.critical_path()
+        assert cp.S == 2 and cp.W == 8 and cp.F == 8
+
+    def test_reduce_scatter_shape_mismatch(self):
+        m = machine()
+        with pytest.raises(ShapeError):
+            reduce_scatter(m, [0, 1], {0: np.ones(4), 1: np.ones(3)})
+
+    def test_allreduce_everyone_gets_sum(self):
+        m = machine()
+        group = [0, 1, 2]
+        out = allreduce(m, group, {r: np.full(4, float(r)) for r in group})
+        for r in group:
+            assert np.allclose(out[r], 3.0)
+        cp = m.critical_path()
+        assert cp.S == 2 * lg(3) and cp.W == 8 and cp.F == 4
+
+    def test_reduce_to_root(self):
+        m = machine()
+        total = reduce(m, [0, 1], 0, {0: np.ones(3), 1: np.ones(3)})
+        assert np.allclose(total, 2.0)
+        cp = m.critical_path()
+        assert cp.S == 2 and cp.W == 6 and cp.F == 3
+
+    def test_singleton_reduction_free(self):
+        m = machine()
+        allreduce(m, [0], {0: np.ones(10)})
+        assert m.time() == 0.0
+
+
+class TestBcast:
+    def test_delivers_value(self):
+        m = machine()
+        out = bcast(m, [0, 1, 2, 3], 2, np.arange(3.0))
+        for r in (0, 1, 2, 3):
+            assert np.allclose(out[r], [0, 1, 2])
+
+    def test_cost_two_phase(self):
+        m = machine()
+        bcast(m, [0, 1, 2, 3], 0, np.ones(5))
+        cp = m.critical_path()
+        assert cp.S == 2 * lg(4) and cp.W == 10
+
+
+class TestAlltoall:
+    def test_personalized_exchange(self):
+        m = machine()
+        group = [0, 1, 2]
+        blocks = {
+            r: [np.full(1, 10.0 * r + j) for j in range(3)] for r in group
+        }
+        out = alltoall(m, group, blocks)
+        # destination j receives blocks[src][j] from every src
+        assert np.allclose([a[0] for a in out[1]], [1.0, 11.0, 21.0])
+
+    def test_cost_bruck(self):
+        m = machine()
+        group = [0, 1, 2, 3]
+        blocks = {r: [np.ones(2) for _ in range(4)] for r in group}
+        alltoall(m, group, blocks)
+        cp = m.critical_path()
+        assert cp.S == 2  # log2(4)
+        assert cp.W == (8 / 2) * 2  # (per-rank volume / 2) * log
+
+    def test_block_count_mismatch(self):
+        m = machine()
+        with pytest.raises(ShapeError):
+            alltoall(m, [0, 1], {0: [np.ones(1)], 1: [np.ones(1), np.ones(1)]})
+
+
+class TestPointToPoint:
+    def test_sendrecv_swaps(self):
+        m = machine()
+        a, b = sendrecv(m, 0, 1, np.zeros(3), np.ones(3))
+        assert np.allclose(a, 1) and np.allclose(b, 0)
+        cp = m.critical_path()
+        assert cp.S == 1 and cp.W == 3
+
+    def test_self_exchange_free(self):
+        m = machine()
+        sendrecv(m, 2, 2, np.zeros(3), np.zeros(3))
+        assert m.time() == 0.0
+
+    def test_send(self):
+        m = machine()
+        out = send(m, 0, 3, np.arange(4.0))
+        assert np.allclose(out, np.arange(4.0))
+        assert m.critical_path() == type(m.critical_path())(1, 4, 0)
+
+    def test_send_to_self_free(self):
+        m = machine()
+        send(m, 1, 1, np.ones(8))
+        assert m.time() == 0.0
+
+    def test_grid_transpose_pairs(self):
+        m = machine()
+        data = {0: np.zeros(2), 1: np.ones(2), 2: np.full(2, 2.0)}
+        out = grid_transpose(m, [(0, 1), (2, 2)], data)
+        assert np.allclose(out[0], 1) and np.allclose(out[1], 0)
+        assert np.allclose(out[2], 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    g=st.integers(2, 8),
+    words=st.integers(1, 40),
+)
+def test_allreduce_cost_scales_with_group_and_words(g, words):
+    m = Machine(8, params=UNIT)
+    group = list(range(g))
+    allreduce(m, group, {r: np.ones(words) for r in group})
+    cp = m.critical_path()
+    assert cp.S == 2 * lg(g)
+    assert cp.W == 2 * words
+    assert cp.F == words
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    g=st.integers(1, 8),
+    words=st.integers(1, 30),
+    data=st.data(),
+)
+def test_allgather_roundtrip_property(g, words, data):
+    m = Machine(8, params=UNIT)
+    group = list(range(g))
+    contribs = {
+        r: np.asarray(
+            data.draw(
+                st.lists(
+                    st.floats(-1e6, 1e6, allow_nan=False),
+                    min_size=words,
+                    max_size=words,
+                )
+            )
+        )
+        for r in group
+    }
+    out = allgather(m, group, contribs)
+    expected = np.concatenate([contribs[r] for r in group])
+    for r in group:
+        assert np.allclose(out[r], expected)

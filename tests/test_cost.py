@@ -1,0 +1,88 @@
+"""Tests for the alpha-beta-gamma cost model primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cost import Cost, CostParams, HARDWARE_PRESETS
+
+finite = st.floats(min_value=0, max_value=1e12, allow_nan=False)
+
+
+class TestCostArithmetic:
+    def test_add(self):
+        c = Cost(1, 2, 3) + Cost(10, 20, 30)
+        assert (c.S, c.W, c.F) == (11, 22, 33)
+
+    def test_sub(self):
+        c = Cost(10, 20, 30) - Cost(1, 2, 3)
+        assert (c.S, c.W, c.F) == (9, 18, 27)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert 2 * Cost(1, 2, 3) == Cost(2, 4, 6)
+        assert Cost(1, 2, 3) * 2 == Cost(2, 4, 6)
+
+    def test_zero(self):
+        assert Cost.zero() == Cost(0, 0, 0)
+
+    def test_max_componentwise(self):
+        assert Cost.max(Cost(1, 5, 2), Cost(3, 1, 2)) == Cost(3, 5, 2)
+
+    def test_dominates(self):
+        assert Cost(2, 2, 2).dominates(Cost(1, 2, 2))
+        assert not Cost(2, 2, 2).dominates(Cost(3, 0, 0))
+
+    def test_add_non_cost_raises(self):
+        with pytest.raises(TypeError):
+            Cost(1, 1, 1) + 3  # type: ignore[operator]
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_addition_commutes(self, a, b, c, d, e, f):
+        assert Cost(a, b, c) + Cost(d, e, f) == Cost(d, e, f) + Cost(a, b, c)
+
+
+class TestCostParams:
+    def test_time_formula(self):
+        params = CostParams(alpha=2.0, beta=3.0, gamma=5.0)
+        assert Cost(1, 1, 1).time(params) == 10.0
+        assert params.time(Cost(2, 0, 0)) == 4.0
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            CostParams(alpha=-1.0)
+
+    def test_latency_bandwidth_ratio(self):
+        p = CostParams(alpha=1e-6, beta=1e-9)
+        assert p.latency_bandwidth_ratio() == pytest.approx(1000.0)
+
+    def test_ratio_with_zero_beta(self):
+        assert CostParams(alpha=1.0, beta=0.0).latency_bandwidth_ratio() == float(
+            "inf"
+        )
+
+    def test_presets_exist_and_are_consistent(self):
+        assert set(HARDWARE_PRESETS) >= {
+            "default",
+            "latency_bound",
+            "bandwidth_bound",
+            "unit",
+            "latency_only",
+        }
+        for name, preset in HARDWARE_PRESETS.items():
+            assert preset.name == name
+
+    def test_latency_bound_preset_has_larger_ratio(self):
+        assert (
+            HARDWARE_PRESETS["latency_bound"].latency_bandwidth_ratio()
+            > HARDWARE_PRESETS["bandwidth_bound"].latency_bandwidth_ratio()
+        )
+
+    def test_unit_preset_time_counts_everything(self):
+        assert HARDWARE_PRESETS["unit"].time(Cost(1, 2, 3)) == 6.0
+
+    def test_latency_only_preset_counts_messages(self):
+        assert HARDWARE_PRESETS["latency_only"].time(Cost(7, 100, 100)) == 7.0
+
+    @given(finite, finite, finite)
+    def test_time_nonnegative(self, s, w, f):
+        assert Cost(s, w, f).time(CostParams()) >= 0

@@ -1,0 +1,11 @@
+"""Doctests embedded in the package documentation stay true."""
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in repro"
+    assert results.attempted >= 3  # the quickstart example is exercised

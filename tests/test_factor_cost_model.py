@@ -1,0 +1,64 @@
+"""Cholesky cost model and latency-advantage formulas."""
+
+import math
+
+import pytest
+
+from repro.factor.cost_model import cholesky_cost, latency_advantage
+from repro.machine.validate import ParameterError
+
+
+class TestCholeskyCost:
+    def test_nonnegative_components(self):
+        c = cholesky_cost(256, 32, 16)
+        assert c.S >= 0 and c.W >= 0 and c.F > 0
+
+    def test_flops_scale_with_n_cubed(self):
+        f1 = cholesky_cost(128, 16, 16).F
+        f2 = cholesky_cost(256, 16, 16).F
+        assert 6 < f2 / f1 < 10  # ~n^3 scaling
+
+    def test_flops_scale_down_with_p(self):
+        f1 = cholesky_cost(256, 32, 16).F
+        f2 = cholesky_cost(256, 32, 64).F
+        assert f2 < f1
+
+    def test_substitution_latency_linear_in_n(self):
+        s1 = cholesky_cost(256, 16, 16, panel="substitution").S
+        s2 = cholesky_cost(512, 16, 16, panel="substitution").S
+        assert 1.7 < s2 / s1 < 2.3
+
+    def test_inversion_latency_linear_in_panel_count(self):
+        s1 = cholesky_cost(256, 32, 16, panel="inversion").S
+        s2 = cholesky_cost(256, 16, 16, panel="inversion").S
+        assert s2 > 1.5 * s1  # twice the panels, about twice the rounds
+
+    def test_single_processor_no_latency(self):
+        c = cholesky_cost(64, 16, 1)
+        assert c.S == 0
+
+    def test_block_larger_than_n_clamped(self):
+        c = cholesky_cost(16, 999, 4)
+        assert c.F == pytest.approx(16**3 / 6.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            cholesky_cost(0, 1, 1)
+        with pytest.raises(ParameterError):
+            cholesky_cost(16, 4, 4, panel="psychic")
+
+
+class TestLatencyAdvantage:
+    def test_advantage_grows_with_block_width(self):
+        a8 = latency_advantage(512, 8, 64)
+        a32 = latency_advantage(512, 32, 64)
+        assert a32 > a8
+
+    def test_advantage_exceeds_one_for_many_panels(self):
+        assert latency_advantage(1024, 32, 256) > 3
+
+    def test_advantage_roughly_b_over_three(self):
+        # substitution: ~(n/b)(b log p) + extras; inversion: ~(n/b)(5 log p)
+        b = 64
+        adv = latency_advantage(4096, b, 1024)
+        assert b / 10 < adv < b

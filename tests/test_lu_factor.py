@@ -1,0 +1,109 @@
+"""Distributed blocked LU with pivoting strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factor import lu_factor_distributed
+from repro.machine import CostParams, Machine
+from repro.machine.validate import GridError, ParameterError, ShapeError
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+def factor(n, sp, block=8, pivoting="tournament", seed=0, dominant=False):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    if dominant:
+        A = A + n * np.eye(n)
+    machine = Machine(sp * sp, params=UNIT)
+    grid = machine.grid(sp, sp)
+    L, U, perm = lu_factor_distributed(machine, grid, A, block=block, pivoting=pivoting)
+    return machine, A, L, U, perm
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pivoting", ["partial", "tournament"])
+    @pytest.mark.parametrize("n,block", [(16, 4), (32, 8), (33, 7), (24, 24)])
+    def test_reconstructs(self, pivoting, n, block):
+        machine, A, L, U, perm = factor(n, 2, block, pivoting, seed=n)
+        err = np.linalg.norm(A[perm] - L.to_global() @ U.to_global())
+        assert err < 1e-9 * np.linalg.norm(A), (pivoting, n, block)
+
+    def test_l_unit_lower_u_upper(self):
+        machine, A, L, U, perm = factor(24, 2)
+        Lg, Ug = L.to_global(), U.to_global()
+        assert np.allclose(np.diag(Lg), 1.0)
+        assert np.allclose(np.triu(Lg, 1), 0)
+        assert np.allclose(np.tril(Ug, -1), 0)
+
+    def test_partial_matches_scipy_pivots(self):
+        import scipy.linalg as sla
+
+        machine, A, L, U, perm = factor(20, 1, block=4, pivoting="partial", seed=3)
+        P, Ls, Us = sla.lu(A)
+        # same factorization up to the permutation convention
+        assert np.allclose(A[perm], L.to_global() @ U.to_global(), atol=1e-10)
+        assert np.allclose(np.abs(np.diag(U.to_global())), np.abs(np.diag(Us)), atol=1e-10)
+
+    def test_none_pivoting_on_dominant(self):
+        machine, A, L, U, perm = factor(16, 2, pivoting="none", dominant=True)
+        assert np.array_equal(perm, np.arange(16))
+        assert np.allclose(A, L.to_global() @ U.to_global(), atol=1e-9 * 16)
+
+    def test_none_pivoting_rejects_zero_pivot(self):
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        A = np.eye(8)
+        A[0, 0] = 0.0
+        with pytest.raises(ShapeError):
+            lu_factor_distributed(machine, grid, A, pivoting="none")
+
+    def test_growth_bounded_for_tournament(self):
+        """CALU stability: the tournament factors' entries stay bounded."""
+        machine, A, L, U, perm = factor(48, 2, block=8, pivoting="tournament", seed=5)
+        growth = np.abs(U.to_global()).max() / np.abs(A).max()
+        assert growth < 100  # far from pathological
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 32), block=st.integers(1, 10))
+    def test_property_tournament(self, n, block):
+        machine, A, L, U, perm = factor(n, 2, block, "tournament", seed=n)
+        err = np.linalg.norm(A[perm] - L.to_global() @ U.to_global())
+        assert err < 1e-8 * max(np.linalg.norm(A), 1.0)
+
+
+class TestLatencyContrast:
+    def test_tournament_cuts_pivot_latency(self):
+        m_part, *_ = factor(64, 4, block=8, pivoting="partial", seed=6)
+        m_tour, *_ = factor(64, 4, block=8, pivoting="tournament", seed=6)
+        s_part = m_part.phase_cost("pivot_search").S
+        s_tour = m_tour.phase_cost("pivot_search").S
+        # Theta(n log p) vs Theta((n/b) log p): expect ~b-fold reduction
+        assert s_part > 4 * s_tour
+
+    def test_phases_recorded(self):
+        machine, *_ = factor(32, 2)
+        names = set(machine.phase_names())
+        assert {"pivot_search", "panel_solve", "trailing_update"} <= names
+
+
+class TestValidation:
+    def test_bad_strategy(self):
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        with pytest.raises(ParameterError):
+            lu_factor_distributed(machine, grid, np.eye(8), pivoting="psychic")
+
+    def test_nonsquare_grid(self):
+        machine = Machine(8, params=UNIT)
+        grid = machine.grid(2, 4)
+        with pytest.raises(GridError):
+            lu_factor_distributed(machine, grid, np.eye(8))
+
+    def test_nonsquare_matrix(self):
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        with pytest.raises(ShapeError):
+            lu_factor_distributed(machine, grid, np.ones((4, 5)))

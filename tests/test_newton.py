@@ -1,0 +1,66 @@
+"""Newton-Schulz inversion: the contrast that motivates exact inversion."""
+
+import numpy as np
+import pytest
+
+from repro.inversion.newton import newton_schulz_inverse, predicted_iterations
+from repro.machine.validate import ShapeError
+from repro.util.checking import backward_error
+from repro.util.randmat import (
+    ill_conditioned_lower_triangular,
+    random_lower_triangular,
+)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [1, 2, 8, 33])
+    def test_converges_on_well_conditioned(self, n):
+        L = random_lower_triangular(n, seed=n)
+        X, iters = newton_schulz_inverse(L)
+        assert backward_error(L, X) < 1e-11
+        assert iters <= 60
+
+    def test_result_lower_triangular(self):
+        L = random_lower_triangular(16, seed=0)
+        X, _ = newton_schulz_inverse(L)
+        assert np.allclose(np.triu(X, 1), 0)
+
+    def test_iterations_grow_with_conditioning(self):
+        """The reason the paper inverts exactly: NS sweeps scale with
+        log(cond), each sweep costing two full MMs."""
+        L_good = random_lower_triangular(32, seed=1)
+        L_bad = ill_conditioned_lower_triangular(32, condition_target=1e6, seed=1)
+        _, it_good = newton_schulz_inverse(L_good)
+        _, it_bad = newton_schulz_inverse(L_bad, max_iters=500)
+        assert it_bad > 1.5 * it_good
+
+    def test_nonconvergence_raises(self):
+        L = ill_conditioned_lower_triangular(24, condition_target=1e8, seed=0)
+        with pytest.raises(RuntimeError):
+            newton_schulz_inverse(L, max_iters=3)
+
+    def test_rejects_non_triangular(self):
+        with pytest.raises(ShapeError):
+            newton_schulz_inverse(np.ones((4, 4)))
+
+    def test_rejects_singular(self):
+        L = np.tril(np.ones((4, 4)))
+        L[0, 0] = 0.0
+        with pytest.raises(ShapeError):
+            newton_schulz_inverse(L)
+
+
+class TestIterationModel:
+    def test_monotone_in_condition(self):
+        assert predicted_iterations(1e6) > predicted_iterations(1e2)
+
+    def test_invalid_condition(self):
+        with pytest.raises(ValueError):
+            predicted_iterations(0.5)
+
+    def test_prediction_tracks_measurement(self):
+        for target in (1e2, 1e4):
+            L = ill_conditioned_lower_triangular(40, condition_target=target, seed=2)
+            _, iters = newton_schulz_inverse(L, max_iters=500)
+            predicted = predicted_iterations(np.linalg.cond(L))
+            assert iters <= 2.5 * predicted + 8

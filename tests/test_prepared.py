@@ -1,0 +1,97 @@
+"""PreparedTrsm: the invert-once / solve-many API."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError, ShapeError
+from repro.trsm.prepared import PreparedTrsm
+from repro.util.randmat import random_dense, random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+class TestCorrectness:
+    def test_multiple_solves_correct(self):
+        L = random_lower_triangular(32, seed=0)
+        solver = PreparedTrsm(L, p=4, k_hint=8, params=UNIT, n0=8)
+        for seed in (1, 2, 3):
+            B = random_dense(32, 8, seed=seed)
+            X = solver.solve(B)
+            assert np.allclose(X, sla.solve_triangular(L, B, lower=True), atol=1e-9)
+        assert solver.solves == 3
+
+    def test_vector_rhs(self):
+        L = random_lower_triangular(16, seed=1)
+        solver = PreparedTrsm(L, p=4, params=UNIT, n0=4)
+        b = random_dense(16, 1, seed=2)[:, 0]
+        x = solver.solve(b)
+        assert x.shape == (16,)
+        assert np.allclose(L @ x, b, atol=1e-10)
+
+    def test_varying_rhs_widths(self):
+        L = random_lower_triangular(24, seed=3)
+        solver = PreparedTrsm(L, p=4, params=UNIT, n0=8)
+        for k in (1, 3, 12):
+            B = random_dense(24, k, seed=k)
+            X = solver.solve(B)
+            assert np.allclose(L @ X, B, atol=1e-9)
+
+
+class TestAmortization:
+    def test_solve_has_no_inversion_phase_cost(self):
+        """The per-application cost must exclude the Diagonal-Inverter."""
+        L = random_lower_triangular(48, seed=4)
+        solver = PreparedTrsm(L, p=4, k_hint=8, params=UNIT, n0=12)
+        B = random_dense(48, 8, seed=5)
+        solver.solve(B)
+        assert solver.last_solve_cost is not None
+        # a fresh one-shot solve pays inversion + application
+        from repro import trsm
+
+        one_shot = trsm(L, B, p=4, n0=12, params=UNIT)
+        assert solver.last_solve_time < one_shot.time
+        assert solver.last_solve_cost.F < one_shot.measured.F
+
+    def test_preparation_cost_recorded(self):
+        L = random_lower_triangular(32, seed=6)
+        solver = PreparedTrsm(L, p=4, params=UNIT, n0=8)
+        assert solver.preparation_cost.F > 0
+        assert solver.preparation_time > 0
+
+    def test_amortized_time_formula(self):
+        L = random_lower_triangular(32, seed=7)
+        solver = PreparedTrsm(L, p=4, params=UNIT, n0=8)
+        solver.solve(random_dense(32, 4, seed=8))
+        t10 = solver.amortized_time(10)
+        t1 = solver.amortized_time(1)
+        assert t10 == pytest.approx(
+            solver.preparation_time + 10 * solver.last_solve_time
+        )
+        assert t10 > t1
+
+    def test_amortized_requires_a_solve(self):
+        L = random_lower_triangular(16, seed=9)
+        solver = PreparedTrsm(L, p=4, params=UNIT, n0=4)
+        with pytest.raises(ParameterError):
+            solver.amortized_time(5)
+
+
+class TestValidation:
+    def test_bad_p(self):
+        with pytest.raises(ParameterError):
+            PreparedTrsm(random_lower_triangular(8, seed=0), p=3)
+
+    def test_bad_n0(self):
+        with pytest.raises(ParameterError):
+            PreparedTrsm(random_lower_triangular(8, seed=0), p=4, n0=3)
+
+    def test_wrong_rhs_rows(self):
+        solver = PreparedTrsm(random_lower_triangular(8, seed=0), p=4, n0=4)
+        with pytest.raises(ShapeError):
+            solver.solve(np.ones((7, 2)))
+
+    def test_nonsquare_l(self):
+        with pytest.raises(ShapeError):
+            PreparedTrsm(np.ones((4, 5)), p=4)

@@ -1,0 +1,184 @@
+"""Cross-cutting property tests (hypothesis) on the system's invariants.
+
+These complement the per-module property tests by exercising *combinations*
+of components the way the algorithms do: layout round trips under chains of
+redistributions, algorithm equivalences, cost-model monotonicity, and the
+conservation laws of the simulated machine.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dist import CyclicLayout, BlockedLayout, DistMatrix, redistribute
+from repro.machine import CostParams, Machine
+from repro.trsm.cost_model import iterative_cost, recursive_cost
+from repro.trsm.solver import trsm
+from repro.tuning.parameters import tuned_parameters
+from repro.util.randmat import random_dense, random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**SETTINGS)
+@given(
+    m=st.integers(1, 20),
+    n=st.integers(1, 20),
+    chain=st.lists(
+        st.sampled_from(["cyclic22", "blocked22", "cyclic14", "blocked41"]),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_redistribution_chain_preserves_data(m, n, chain):
+    """Any chain of layout/grid transitions is data-preserving."""
+    machine = Machine(16, params=UNIT)
+    grids = {
+        "cyclic22": (machine.grid(2, 2), CyclicLayout(2, 2)),
+        "blocked22": (machine.grid(2, 2), BlockedLayout(2, 2)),
+        "cyclic14": (machine.grid(1, 4), CyclicLayout(1, 4)),
+        "blocked41": (machine.grid(4, 1), BlockedLayout(4, 1)),
+    }
+    A = np.random.default_rng(m * 100 + n).standard_normal((m, n))
+    D = DistMatrix.from_global(machine, *grids["cyclic22"], A)
+    for step in chain:
+        grid, layout = grids[step]
+        D = redistribute(D, grid, layout)
+    assert np.allclose(D.to_global(), A)
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(4, 32),
+    k=st.integers(1, 8),
+    p=st.sampled_from([1, 4, 16]),
+)
+def test_algorithms_agree_with_scipy(n, k, p):
+    """Both parallel algorithms solve every random system like LAPACK."""
+    L = random_lower_triangular(n, seed=n * 17 + k)
+    B = random_dense(n, k, seed=k + 3)
+    ref = sla.solve_triangular(L, B, lower=True)
+    r_it = trsm(L, B, p=p, algorithm="iterative")
+    r_rec = trsm(L, B, p=p, algorithm="recursive")
+    assert np.allclose(r_it.X, ref, atol=1e-8)
+    assert np.allclose(r_rec.X, ref, atol=1e-8)
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.sampled_from([64, 256, 1024]),
+    k=st.sampled_from([16, 64]),
+    p=st.sampled_from([16, 256, 4096]),
+)
+def test_cost_models_nonnegative_and_monotone_in_work(n, k, p):
+    """Models return nonnegative costs that grow with the problem size."""
+    for model in (recursive_cost, lambda a, b, c: iterative_cost(a, b, min(a, 16), 2, c // 4)):
+        c_small = model(n, k, p)
+        c_big = model(2 * n, k, p)
+        assert c_small.S >= 0 and c_small.W >= 0 and c_small.F >= 0
+        assert c_big.F >= c_small.F
+        assert c_big.W >= c_small.W
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(8, 64),
+    k=st.integers(1, 64),
+    p=st.sampled_from([4, 16, 64, 256]),
+)
+def test_tuned_parameters_internally_consistent(n, k, p):
+    c = tuned_parameters(n, k, p)
+    assert c.p == p
+    assert n % c.n0 == 0
+    # 1D regime means full inversion (no update phase possible)
+    if c.regime.value == "1D":
+        assert c.n0 == n and c.p1 == 1
+
+
+@settings(**SETTINGS)
+@given(
+    groups=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=12
+    ),
+    costs=st.lists(
+        st.tuples(
+            st.floats(0, 10, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_machine_clock_monotone_and_bounded(groups, costs):
+    """Conservation: the critical path never decreases, never exceeds the
+    serialization of all charges, and is at least the largest charge."""
+    from repro.machine.cost import Cost
+
+    machine = Machine(8, params=UNIT)
+    total_time = 0.0
+    biggest = 0.0
+    last = 0.0
+    for (a, b), (s, w) in zip(groups, costs):
+        cost = Cost(s, w, 0.0)
+        machine.charge(sorted({a, b}), cost)
+        t = machine.time()
+        assert t >= last - 1e-12  # monotone
+        last = t
+        total_time += cost.time(UNIT)
+        biggest = max(biggest, cost.time(UNIT))
+    assert machine.time() <= total_time + 1e-9
+    assert machine.time() >= biggest - 1e-9
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(2, 24),
+    seed=st.integers(0, 100),
+)
+def test_inversion_composes_with_solve(n, seed):
+    """inv(L) applied by MM equals the TRSM solution (the identity the
+    iterative algorithm exploits blockwise)."""
+    from repro.inversion import invert_lower_triangular
+
+    L = random_lower_triangular(n, seed=seed)
+    B = random_dense(n, 3, seed=seed + 1)
+    X_trsm = trsm(L, B, p=4, verify=False).X
+    X_inv = invert_lower_triangular(L) @ B
+    assert np.allclose(X_trsm, X_inv, atol=1e-9)
+
+
+@settings(**SETTINGS)
+@given(
+    p1=st.sampled_from([1, 2]),
+    sq=st.sampled_from([1, 2]),
+    n=st.integers(1, 16),
+    k=st.integers(1, 16),
+    seed=st.integers(0, 50),
+)
+def test_mm_linear_in_second_argument(p1, sq, n, k, seed):
+    """MM(A, X1 + X2) == MM(A, X1) + MM(A, X2) on the distributed data."""
+    from repro.mm import mm3d
+
+    sp = p1 * sq
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    X1 = rng.standard_normal((n, k))
+    X2 = rng.standard_normal((n, k))
+
+    def run(X):
+        machine = Machine(sp * sp, params=UNIT)
+        grid = machine.grid(sp, sp)
+        lay = CyclicLayout(sp, sp)
+        dA = DistMatrix.from_global(machine, grid, lay, A)
+        dX = DistMatrix.from_global(machine, grid, lay, X)
+        return mm3d(dA, dX, p1).to_global()
+
+    assert np.allclose(run(X1 + X2), run(X1) + run(X2), atol=1e-9)

@@ -1,0 +1,75 @@
+"""Random matrix generators: shapes, conditioning, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.util.randmat import (
+    ill_conditioned_lower_triangular,
+    random_dense,
+    random_lower_triangular,
+    random_spd,
+    random_unit_lower_triangular,
+)
+
+
+class TestRandomLowerTriangular:
+    def test_is_lower_triangular(self):
+        L = random_lower_triangular(20, seed=0)
+        assert np.allclose(np.triu(L, 1), 0)
+
+    def test_well_conditioned(self):
+        L = random_lower_triangular(100, seed=0)
+        assert np.linalg.cond(L) < 100
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(
+            random_lower_triangular(10, seed=7), random_lower_triangular(10, seed=7)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            random_lower_triangular(10, seed=1), random_lower_triangular(10, seed=2)
+        )
+
+    def test_generator_instance_accepted(self):
+        g = np.random.default_rng(3)
+        L = random_lower_triangular(5, seed=g)
+        assert L.shape == (5, 5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_lower_triangular(0)
+
+    def test_diag_dominance_knob(self):
+        L = random_lower_triangular(10, seed=0, diag_dominance=5.0)
+        assert np.allclose(np.abs(np.diag(L)), 5.0)
+
+
+class TestUnitLowerTriangular:
+    def test_unit_diagonal(self):
+        L = random_unit_lower_triangular(15, seed=0)
+        assert np.allclose(np.diag(L), 1.0)
+        assert np.allclose(np.triu(L, 1), 0)
+
+
+class TestIllConditioned:
+    def test_condition_target_reached(self):
+        L = ill_conditioned_lower_triangular(50, condition_target=1e6, seed=0)
+        assert np.linalg.cond(L) >= 1e6
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ill_conditioned_lower_triangular(1)
+
+
+class TestDenseAndSpd:
+    def test_dense_shape_and_range(self):
+        B = random_dense(7, 9, seed=0)
+        assert B.shape == (7, 9)
+        assert np.all(np.abs(B) <= 1.0)
+
+    def test_spd_is_spd(self):
+        A = random_spd(20, seed=0)
+        assert np.allclose(A, A.T)
+        w = np.linalg.eigvalsh(A)
+        assert w.min() > 0

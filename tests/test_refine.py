@@ -1,0 +1,60 @@
+"""Iterative refinement for TRSM."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError
+from repro.trsm.refine import refined_trsm
+from repro.util.randmat import (
+    ill_conditioned_lower_triangular,
+    random_dense,
+    random_lower_triangular,
+)
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+class TestRefinement:
+    def test_already_accurate_takes_no_steps(self):
+        L = random_lower_triangular(32, seed=0)
+        B = random_dense(32, 8, seed=1)
+        res = refined_trsm(L, B, p=4, target=1e-10, params=UNIT, n0=8)
+        assert res.steps == 0
+        assert res.residual < 1e-10
+
+    def test_refinement_reduces_residual(self):
+        L = ill_conditioned_lower_triangular(48, condition_target=1e8, seed=0)
+        B = random_dense(48, 4, seed=1)
+        res = refined_trsm(L, B, p=4, target=1e-30, max_steps=3, params=UNIT, n0=12)
+        # residuals non-increasing until convergence plateau
+        assert res.residuals[-1] <= res.residuals[0] * 1.01
+        assert np.allclose(L @ res.X.reshape(48, -1), B, atol=1e-6)
+
+    def test_vector_rhs(self):
+        L = random_lower_triangular(16, seed=2)
+        b = random_dense(16, 1, seed=3)[:, 0]
+        res = refined_trsm(L, b, p=4, params=UNIT, n0=4)
+        assert res.X.shape == (16,)
+        assert np.allclose(L @ res.X, b, atol=1e-10)
+
+    def test_max_steps_respected(self):
+        L = random_lower_triangular(24, seed=4)
+        B = random_dense(24, 3, seed=5)
+        res = refined_trsm(L, B, p=4, target=1e-300, max_steps=2, params=UNIT, n0=8)
+        assert res.steps <= 2
+
+    def test_costs_recorded(self):
+        L = random_lower_triangular(32, seed=6)
+        B = random_dense(32, 4, seed=7)
+        res = refined_trsm(L, B, p=4, params=UNIT, n0=8)
+        assert res.preparation_cost.F > 0
+        assert res.solve_cost_total > 0
+
+    def test_invalid_parameters(self):
+        L = random_lower_triangular(8, seed=8)
+        B = random_dense(8, 2, seed=9)
+        with pytest.raises(ParameterError):
+            refined_trsm(L, B, p=4, max_steps=-1)
+        with pytest.raises(ParameterError):
+            refined_trsm(L, B, p=4, target=0.0)

@@ -1,0 +1,65 @@
+"""Machine-sensitivity sweeps and crossover location."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    crossover_ratio,
+    sweep_alpha_beta,
+)
+from repro.machine.validate import ParameterError
+
+
+class TestSweep:
+    def test_points_have_positive_times(self):
+        pts = sweep_alpha_beta(256, 64, 64)
+        assert len(pts) == 7
+        for pt in pts:
+            assert pt.t_recursive > 0 and pt.t_iterative > 0
+
+    def test_speedup_monotone_in_latency_dominance(self):
+        """More latency-bound machines favor the iterative method more."""
+        pts = sweep_alpha_beta(256, 64, 256)
+        speedups = [pt.speedup for pt in pts]
+        assert speedups[-1] > speedups[0]
+        assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))
+
+    def test_custom_ratios(self):
+        pts = sweep_alpha_beta(128, 32, 16, ratios=[1.0, 100.0])
+        assert [pt.alpha_over_beta for pt in pts] == [1.0, 100.0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            sweep_alpha_beta(0, 1, 1)
+
+    def test_point_speedup(self):
+        pt = SensitivityPoint(1.0, t_recursive=2.0, t_iterative=1.0)
+        assert pt.speedup == 2.0
+
+
+class TestCrossover:
+    def test_crossover_exists_in_3d_regime(self):
+        r = crossover_ratio(256, 64, 256)
+        if r is not None:
+            # verify it is a genuine crossover point
+            lo = sweep_alpha_beta(256, 64, 256, ratios=[r / 10])[0]
+            hi = sweep_alpha_beta(256, 64, 256, ratios=[r * 10])[0]
+            assert lo.speedup < 1 < hi.speedup
+
+    def test_crossover_moves_down_with_p(self):
+        """At larger machine scale the iterative method wins earlier
+        (smaller alpha/beta suffices)."""
+        r_small = crossover_ratio(256, 64, 64)
+        r_large = crossover_ratio(256, 64, 4096)
+        if r_small is not None and r_large is not None:
+            assert r_large < r_small
+        elif r_large is None and r_small is not None:
+            # iterative always wins at the large machine — consistent
+            pts = sweep_alpha_beta(256, 64, 4096, ratios=[1e-2])
+            assert pts[0].speedup > 1
+
+    def test_none_when_dominated(self):
+        # 1D regime: the iterative method pays an extra log everywhere,
+        # bandwidth/flops equal -> it never wins on latency alone
+        r = crossover_ratio(16, 16 * 4 * 64 * 64, 64)
+        assert r is None

@@ -1,0 +1,89 @@
+"""Exhaustive small-configuration sweep of both parallel TRSM algorithms.
+
+Every (grid, shape, cutoff) combination below runs the full simulated
+pipeline and is checked against SciPy.  This is the regression net that
+catches index-arithmetic mistakes on the boundaries (empty local blocks,
+single-row panels, k < p2, n0 = n, ...).
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.machine import CostParams, Machine
+from repro.trsm import it_inv_trsm_global, rec_trsm_global
+from repro.util.randmat import random_dense, random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+IT_CONFIGS = [
+    # (p1, p2, n, k, n0)
+    (1, 1, 4, 1, 4),
+    (1, 1, 12, 5, 4),
+    (2, 1, 4, 1, 2),
+    (2, 1, 6, 2, 3),
+    (2, 1, 40, 3, 10),
+    (1, 2, 8, 2, 4),
+    (1, 2, 8, 1, 8),  # k < p2
+    (1, 4, 12, 3, 6),  # k < p2 with slabs
+    (2, 2, 8, 8, 4),
+    (2, 2, 10, 4, 5),
+    (2, 2, 44, 7, 11),
+    (2, 4, 16, 4, 8),
+    (4, 1, 8, 2, 4),  # n0 < p1 rows per class
+    (4, 1, 20, 5, 5),
+    (4, 2, 24, 6, 12),
+    (2, 2, 6, 1, 2),  # single-column RHS
+    (2, 2, 64, 2, 64),  # full inversion, tiny k
+]
+
+
+@pytest.mark.parametrize("p1,p2,n,k,n0", IT_CONFIGS)
+def test_iterative_config(p1, p2, n, k, n0):
+    machine = Machine(p1 * p1 * p2, params=UNIT)
+    L = random_lower_triangular(n, seed=n * 7 + k)
+    B = random_dense(n, k, seed=k * 5 + 1)
+    X = it_inv_trsm_global(machine, L, B, p1=p1, p2=p2, n0=n0, base_n=2)
+    ref = sla.solve_triangular(L, B, lower=True)
+    assert np.allclose(X.to_global(), ref, atol=1e-9), (p1, p2, n, k, n0)
+
+
+REC_CONFIGS = [
+    # (grid, n, k, n0)
+    ((1, 1), 3, 1, None),
+    ((1, 2), 4, 9, None),
+    ((2, 2), 5, 5, 1),
+    ((2, 2), 9, 2, 2),
+    ((2, 2), 16, 16, 4),
+    ((1, 4), 6, 40, None),
+    ((2, 4), 8, 32, 4),
+    ((2, 8), 8, 64, 4),
+    ((4, 4), 21, 5, 7),
+    ((4, 4), 32, 32, 16),
+    ((2, 2), 2, 1, 1),  # minimal recursion
+]
+
+
+@pytest.mark.parametrize("grid_shape,n,k,n0", REC_CONFIGS)
+def test_recursive_config(grid_shape, n, k, n0):
+    p = grid_shape[0] * grid_shape[1]
+    machine = Machine(p, params=UNIT)
+    grid = machine.grid(*grid_shape)
+    L = random_lower_triangular(n, seed=n * 11 + k)
+    B = random_dense(n, k, seed=k * 3 + 2)
+    X = rec_trsm_global(machine, L, B, grid=grid, n0=n0)
+    ref = sla.solve_triangular(L, B, lower=True)
+    assert np.allclose(X.to_global(), ref, atol=1e-9), (grid_shape, n, k, n0)
+
+
+@pytest.mark.parametrize("p1,p2,n,k,n0", IT_CONFIGS[:8])
+def test_iterative_costs_are_finite_and_positive(p1, p2, n, k, n0):
+    machine = Machine(p1 * p1 * p2, params=UNIT)
+    L = random_lower_triangular(n, seed=0)
+    B = random_dense(n, k, seed=1)
+    it_inv_trsm_global(machine, L, B, p1=p1, p2=p2, n0=n0, base_n=2)
+    cp = machine.critical_path()
+    assert np.isfinite(cp.S) and np.isfinite(cp.W) and np.isfinite(cp.F)
+    assert cp.F > 0
+    if p1 * p1 * p2 == 1:
+        assert cp.S == 0 and cp.W == 0

@@ -1,0 +1,73 @@
+"""Trace aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace import render_trace, summarize_trace
+from repro.dist import CyclicLayout, DistMatrix
+from repro.machine import CostParams, Machine
+from repro.machine.cost import Cost
+from repro.mm import mm3d
+from repro.util.randmat import random_dense
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+class TestSummarize:
+    def test_requires_traced_machine(self):
+        m = Machine(2)
+        with pytest.raises(ValueError):
+            summarize_trace(m)
+
+    def test_aggregates_by_label(self):
+        m = Machine(4, params=UNIT, trace=True)
+        m.charge([0, 1], Cost(1, 10, 0), label="a")
+        m.charge([2, 3], Cost(2, 20, 0), label="a")
+        m.charge([0, 1, 2, 3], Cost(1, 5, 0), label="b")
+        summary = {s.label: s for s in summarize_trace(m)}
+        assert summary["a"].events == 2
+        assert summary["a"].total.W == 30
+        assert summary["a"].worst.W == 20
+        assert summary["a"].max_group == 2
+        assert summary["b"].max_group == 4
+
+    def test_sorted_by_total_words(self):
+        m = Machine(2, params=UNIT, trace=True)
+        m.charge([0], Cost(0, 1, 0), label="small")
+        m.charge([0], Cost(0, 100, 0), label="big")
+        labels = [s.label for s in summarize_trace(m)]
+        assert labels == ["big", "small"]
+
+    def test_unlabelled_events_grouped(self):
+        m = Machine(2, params=UNIT, trace=True)
+        m.charge([0], Cost(1, 1, 1))
+        summary = summarize_trace(m)
+        assert summary[0].label == "<unlabelled>"
+
+    def test_mean_words(self):
+        m = Machine(2, params=UNIT, trace=True)
+        m.charge([0], Cost(0, 10, 0), label="x")
+        m.charge([0], Cost(0, 30, 0), label="x")
+        s = summarize_trace(m)[0]
+        assert s.mean_words == 20
+
+
+class TestRealRun:
+    def test_mm_trace_has_expected_labels(self):
+        m = Machine(16, params=UNIT, trace=True)
+        g = m.grid(4, 4)
+        lay = CyclicLayout(4, 4)
+        A = random_dense(16, 16, seed=0)
+        X = random_dense(16, 8, seed=1)
+        dA = DistMatrix.from_global(m, g, lay, A)
+        dX = DistMatrix.from_global(m, g, lay, X)
+        out = mm3d(dA, dX, 2)
+        assert np.allclose(out.to_global(), A @ X)
+        labels = {s.label for s in summarize_trace(m)}
+        assert {"mm3d.line2", "mm3d.line5", "mm3d.line6", "mm3d.line7"} <= labels
+
+    def test_render(self):
+        m = Machine(4, params=UNIT, trace=True)
+        m.charge([0, 1], Cost(1, 10, 0), label="op")
+        text = render_trace(m)
+        assert "op" in text and "events" in text

@@ -1,0 +1,122 @@
+"""Triangular-structure helpers (dist.triangular) and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_cost, format_table
+from repro.dist.triangular import (
+    block_diagonal_words,
+    diagonal_block,
+    is_lower_triangular,
+    require_lower_triangular,
+    require_nonsingular_triangular,
+    require_square,
+    triangle_words,
+)
+from repro.machine.cost import Cost
+from repro.machine.validate import ShapeError
+
+
+class TestStructureChecks:
+    def test_is_lower_triangular(self):
+        assert is_lower_triangular(np.tril(np.ones((4, 4))))
+        assert not is_lower_triangular(np.ones((4, 4)))
+
+    def test_tolerance(self):
+        A = np.tril(np.ones((4, 4)))
+        A[0, 3] = 1e-12
+        assert not is_lower_triangular(A)
+        assert is_lower_triangular(A, tol=1e-10)
+
+    def test_require_lower_raises(self):
+        with pytest.raises(ShapeError):
+            require_lower_triangular(np.triu(np.ones((3, 3))) + np.eye(3))
+
+    def test_require_nonsingular(self):
+        L = np.eye(4)
+        require_nonsingular_triangular(L)
+        L[2, 2] = 0.0
+        with pytest.raises(ShapeError):
+            require_nonsingular_triangular(L)
+
+    def test_require_square(self):
+        assert require_square(np.zeros((5, 5))) == 5
+        with pytest.raises(ShapeError):
+            require_square(np.zeros((5, 4)))
+
+    def test_require_square_on_distmatrix_like(self):
+        class Fake:
+            shape = (3, 3)
+
+        assert require_square(Fake()) == 3
+
+
+class TestBlocks:
+    def test_diagonal_block(self):
+        A = np.arange(64.0).reshape(8, 8)
+        blk = diagonal_block(A, 1, 4)
+        assert np.array_equal(blk, A[4:8, 4:8])
+
+    def test_diagonal_block_out_of_range(self):
+        with pytest.raises(ShapeError):
+            diagonal_block(np.zeros((8, 8)), 2, 4)
+
+    def test_block_diagonal_words(self):
+        assert block_diagonal_words(8, 2) == 4 * 4
+
+    def test_block_diagonal_words_requires_divisibility(self):
+        with pytest.raises(ShapeError):
+            block_diagonal_words(8, 3)
+
+    def test_triangle_words(self):
+        assert triangle_words(4) == 10
+
+
+class TestReportFormatting:
+    def test_format_cost(self):
+        s = format_cost(Cost(1, 2.5, 3e6))
+        assert "S=1" in s and "W=2.5" in s
+
+    def test_format_table_alignment(self):
+        text = format_table(["col"], [[123456.0]])
+        assert "1.235e+05" in text
+
+    def test_format_table_title_underline(self):
+        text = format_table(["a"], [[1]], title="Hello")
+        lines = text.splitlines()
+        assert lines[0] == "Hello"
+        assert lines[1] == "=====".ljust(5, "=")
+
+    def test_zero_float(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestRenderBars:
+    def test_basic_bars(self):
+        from repro.analysis.report import render_bars
+
+        text = render_bars({"a": 10.0, "b": 5.0}, width=10, unit=" ms")
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert "ms" in lines[0]
+
+    def test_title_and_empty(self):
+        from repro.analysis.report import render_bars
+
+        assert "T" in render_bars({"a": 1.0}, title="T")
+        assert render_bars({}) == "(no data)"
+
+    def test_negative_rejected(self):
+        from repro.analysis.report import render_bars
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            render_bars({"a": -1.0})
+
+    def test_zero_value_has_no_bar(self):
+        from repro.analysis.report import render_bars
+
+        text = render_bars({"a": 0.0, "b": 2.0})
+        assert "a | " in text.splitlines()[0] + text

@@ -1,0 +1,158 @@
+"""Section VIII tuning: regime boundaries, closed forms, discrete search."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError
+from repro.trsm.cost_model import iterative_cost
+from repro.tuning import (
+    TrsmRegime,
+    classify_trsm,
+    optimize_parameters,
+    regime_boundaries,
+    tuned_parameters,
+)
+
+
+class TestRegimes:
+    def test_one_large(self):
+        assert classify_trsm(4, 1024, 64) is TrsmRegime.ONE_LARGE
+
+    def test_two_large(self):
+        assert classify_trsm(2**16, 16, 64) is TrsmRegime.TWO_LARGE
+
+    def test_three_large(self):
+        assert classify_trsm(256, 64, 64) is TrsmRegime.THREE_LARGE
+
+    def test_boundaries(self):
+        lo, hi = regime_boundaries(64, 16)
+        assert lo == 16.0  # 4k/p
+        assert hi == 4 * 64 * 4  # 4k sqrt(p)
+
+    def test_boundary_inclusive_3d(self):
+        # exactly 4k/p and 4k sqrt(p) are 3D per the paper's <= / >=
+        k, p = 64, 16
+        assert classify_trsm(int(4 * k / p), k, p) is TrsmRegime.THREE_LARGE
+        assert classify_trsm(int(4 * k * 4), k, p) is TrsmRegime.THREE_LARGE
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            classify_trsm(0, 1, 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 2**20),
+        k=st.integers(1, 2**20),
+        p=st.sampled_from([1, 4, 16, 64, 256, 1024]),
+    )
+    def test_classification_total(self, n, k, p):
+        # every point lands in exactly one regime, consistently with bounds
+        regime = classify_trsm(n, k, p)
+        lo, hi = regime_boundaries(k, p)
+        if regime is TrsmRegime.ONE_LARGE:
+            assert n < lo
+        elif regime is TrsmRegime.TWO_LARGE:
+            assert n > hi
+        else:
+            assert lo <= n <= hi
+
+
+class TestClosedFormParameters:
+    def test_1d_choice(self):
+        c = tuned_parameters(4, 4 * 4 * 1024, 64)
+        assert c.regime is TrsmRegime.ONE_LARGE
+        assert c.p1 == 1 and c.p2 == 64
+        assert c.n0 == 4  # n0 = n: invert everything, no update phase
+
+    def test_2d_choice(self):
+        c = tuned_parameters(2**14, 16, 64)
+        assert c.regime is TrsmRegime.TWO_LARGE
+        assert c.p1 == 8 and c.p2 == 1
+
+    def test_3d_choice_valid_grid(self):
+        c = tuned_parameters(256, 64, 64)
+        assert c.regime is TrsmRegime.THREE_LARGE
+        assert c.p1 * c.p1 * c.p2 == 64
+        assert 256 % c.n0 == 0
+
+    def test_3d_p1_tracks_ratio(self):
+        # p1 ~ (p n / 4k)^{1/3}: raising n/k must not lower p1
+        c_small = tuned_parameters(256, 256, 4096)
+        c_large = tuned_parameters(4096, 64, 4096)
+        assert c_large.p1 >= c_small.p1
+
+    def test_r2_equals_4r1_in_3d_interior(self):
+        c = tuned_parameters(1024, 256, 256)
+        # paper: r1 = r2 as printed in the Section VIII table
+        assert c.r1 == pytest.approx(c.r2)
+
+    def test_n0_divides_n_always(self):
+        for n, k, p in [(48, 12, 16), (100, 7, 64), (256, 1024, 4)]:
+            c = tuned_parameters(n, k, p)
+            assert n % c.n0 == 0
+
+    def test_non_power_of_two_p_rejected(self):
+        with pytest.raises(ParameterError):
+            tuned_parameters(64, 64, 48)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 512),
+        k=st.integers(1, 512),
+        p=st.sampled_from([1, 4, 16, 64, 256]),
+    )
+    def test_choice_always_realizable(self, n, k, p):
+        c = tuned_parameters(n, k, p)
+        assert c.p1 * c.p1 * c.p2 == p
+        assert n % c.n0 == 0
+        assert c.r1 >= 1.0 and c.r2 >= 1.0
+
+
+class TestOptimizer:
+    def test_optimum_at_least_as_good_as_closed_form(self):
+        params = CostParams()
+        for n, k, p in [(128, 32, 16), (64, 256, 16), (256, 16, 64)]:
+            closed = tuned_parameters(n, k, p)
+            best = optimize_parameters(n, k, p, params=params)
+            t_closed = iterative_cost(n, k, closed.n0, closed.p1, closed.p2).time(
+                params
+            )
+            t_best = iterative_cost(n, k, best.n0, best.p1, best.p2).time(params)
+            assert t_best <= t_closed * (1 + 1e-12)
+
+    def test_closed_form_within_small_factor_of_optimum(self):
+        """Section VIII's asymptotic formulas should be near the discrete
+        optimum — this validates the paper's a-priori tuning claim."""
+        params = CostParams()
+        for n, k, p in [(256, 64, 64), (128, 128, 16), (512, 32, 64)]:
+            closed = tuned_parameters(n, k, p)
+            best = optimize_parameters(n, k, p, params=params)
+            t_closed = iterative_cost(n, k, closed.n0, closed.p1, closed.p2).time(
+                params
+            )
+            t_best = iterative_cost(n, k, best.n0, best.p1, best.p2).time(params)
+            assert t_closed <= 3.0 * t_best
+
+    def test_latency_bound_machine_prefers_bigger_blocks(self):
+        """On a latency-dominated machine the optimizer picks n0 at least
+        as large as on a bandwidth-dominated one (fewer iterations)."""
+        lat = optimize_parameters(
+            256, 64, 16, params=CostParams(alpha=1e-2, beta=1e-9, gamma=1e-12)
+        )
+        bw = optimize_parameters(
+            256, 64, 16, params=CostParams(alpha=1e-9, beta=1e-5, gamma=1e-12)
+        )
+        assert lat.n0 >= bw.n0
+
+    def test_search_space_validity(self):
+        best = optimize_parameters(100, 10, 16)
+        assert best.p1 * best.p1 * best.p2 == 16
+        assert 100 % best.n0 == 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            optimize_parameters(64, 64, 10)

@@ -1,0 +1,128 @@
+"""BLAS-style solve variants (upper / transposed / unit diagonal / LU)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.validate import ShapeError
+from repro.trsm.variants import solve_lu, solve_triangular
+from repro.util.randmat import random_dense, random_lower_triangular
+
+
+def upper(n, seed=0):
+    return random_lower_triangular(n, seed=seed).T
+
+
+class TestLower:
+    def test_plain_lower_matches_trsm(self):
+        L = random_lower_triangular(24, seed=0)
+        B = random_dense(24, 6, seed=1)
+        res = solve_triangular(L, B, p=4, lower=True)
+        assert np.allclose(res.X, sla.solve_triangular(L, B, lower=True), atol=1e-10)
+
+    def test_lower_transposed(self):
+        L = random_lower_triangular(24, seed=2)
+        B = random_dense(24, 6, seed=3)
+        res = solve_triangular(L, B, p=4, lower=True, trans=True)
+        ref = sla.solve_triangular(L, B, lower=True, trans="T")
+        assert np.allclose(res.X, ref, atol=1e-10)
+        assert res.residual < 1e-12
+
+
+class TestUpper:
+    def test_upper_solve(self):
+        U = upper(24, seed=4)
+        B = random_dense(24, 6, seed=5)
+        res = solve_triangular(U, B, p=4, lower=False)
+        assert np.allclose(res.X, sla.solve_triangular(U, B, lower=False), atol=1e-10)
+
+    def test_upper_transposed_is_lower(self):
+        U = upper(24, seed=6)
+        B = random_dense(24, 6, seed=7)
+        res = solve_triangular(U, B, p=4, lower=False, trans=True)
+        ref = sla.solve_triangular(U, B, lower=False, trans="T")
+        assert np.allclose(res.X, ref, atol=1e-10)
+
+    def test_upper_residual_recomputed_for_original_operands(self):
+        U = upper(16, seed=8)
+        B = random_dense(16, 4, seed=9)
+        res = solve_triangular(U, B, p=4, lower=False)
+        assert res.residual is not None and res.residual < 1e-13
+
+
+class TestUnitDiagonal:
+    def test_unit_lower(self):
+        L = random_lower_triangular(20, seed=10)
+        np.fill_diagonal(L, 1.0)
+        B = random_dense(20, 5, seed=11)
+        res = solve_triangular(L, B, p=4, unit_diagonal=True)
+        ref = sla.solve_triangular(L, B, lower=True, unit_diagonal=True)
+        assert np.allclose(res.X, ref, atol=1e-10)
+
+    def test_unit_diagonal_ignores_stored_diagonal(self):
+        L = random_lower_triangular(20, seed=12)
+        np.fill_diagonal(L, 7.0)  # stored diagonal must be ignored
+        B = random_dense(20, 5, seed=13)
+        res = solve_triangular(L, B, p=4, unit_diagonal=True)
+        L1 = L.copy()
+        np.fill_diagonal(L1, 1.0)
+        assert np.allclose(res.X, sla.solve_triangular(L1, B, lower=True), atol=1e-10)
+
+
+class TestVectorAndValidation:
+    def test_vector_rhs(self):
+        L = random_lower_triangular(16, seed=14)
+        b = random_dense(16, 1, seed=15)[:, 0]
+        res = solve_triangular(L, b, p=4)
+        assert res.X.shape == (16,)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            solve_triangular(np.eye(4), np.ones((3, 2)), p=4)
+
+    def test_nonsquare(self):
+        with pytest.raises(ShapeError):
+            solve_triangular(np.ones((3, 4)), np.ones(3), p=4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(2, 24),
+        k=st.integers(1, 5),
+        lower=st.booleans(),
+        trans=st.booleans(),
+    )
+    def test_all_variants_property(self, n, k, lower, trans):
+        A = random_lower_triangular(n, seed=n * 3 + k)
+        if not lower:
+            A = A.T
+        B = random_dense(n, k, seed=k)
+        res = solve_triangular(A, B, p=4, lower=lower, trans=trans)
+        ref = sla.solve_triangular(A, B, lower=lower, trans="T" if trans else "N")
+        assert np.allclose(res.X, ref, atol=1e-9)
+
+
+class TestLuSolve:
+    def test_general_system(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((24, 24)) + 24 * np.eye(24)
+        B = random_dense(24, 6, seed=1)
+        X, fwd, bwd = solve_lu(A, B, p=4)
+        assert np.allclose(A @ X, B, atol=1e-8)
+        assert fwd.measured.F > 0 and bwd.measured.F > 0
+
+    def test_with_pivoting_needed(self):
+        # a matrix whose natural order requires row exchanges
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 3.0])
+        X, _, _ = solve_lu(A + 1e-3 * np.eye(2), b, p=1)
+        assert np.allclose((A + 1e-3 * np.eye(2)) @ X, b, atol=1e-10)
+
+    def test_vector_rhs(self):
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((16, 16)) + 16 * np.eye(16)
+        b = rng.standard_normal(16)
+        X, _, _ = solve_lu(A, b, p=4)
+        assert X.shape == (16,)
+        assert np.allclose(A @ X, b, atol=1e-9)
