@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast selfcheck solve clean
+
+## Run the tier-1 test suite (what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fail-fast subset: the dist-layer contract tests.
+test-fast:
+	$(PYTHON) -m pytest -x -q tests/test_layout.py tests/test_distmatrix.py \
+		tests/test_redistribute.py tests/test_triangular_helpers.py \
+		tests/test_row_block.py tests/test_layout_equivalences.py
+
+## Acceptance battery on the simulated machine.
+selfcheck:
+	$(PYTHON) -m repro selfcheck
+
+## A tuned simulated solve with cost report.
+solve:
+	$(PYTHON) -m repro solve
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis

@@ -6,13 +6,8 @@ editable builds cannot generate a wheel) can still ``pip install -e .`` via
 the legacy setuptools code path.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    package_dir={"": "src"},
-    packages=find_packages("src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10"],
-)
+# All metadata (name, version, dependencies, extras, package discovery)
+# comes from pyproject.toml; keeping it out of this file prevents drift.
+setup(package_dir={"": "src"})

@@ -34,6 +34,13 @@ from repro.dist import (
     BlockedLayout,
     CyclicLayout,
     DistMatrix,
+    Layout,
+    change_layout,
+    expected_local_words,
+    extract_submatrix,
+    embed_submatrix,
+    redistribute,
+    transpose_matrix,
 )
 from repro.mm import mm1d, mm3d
 from repro.inversion import invert_lower_triangular, rec_tri_inv
@@ -77,9 +84,16 @@ __all__ = [
     "ShapeError",
     "ParameterError",
     "DistMatrix",
+    "Layout",
     "CyclicLayout",
     "BlockedLayout",
     "BlockCyclicLayout",
+    "expected_local_words",
+    "redistribute",
+    "change_layout",
+    "transpose_matrix",
+    "extract_submatrix",
+    "embed_submatrix",
     "mm3d",
     "mm1d",
     "invert_lower_triangular",

@@ -1,0 +1,62 @@
+"""repro.dist: distributed matrices, layouts and charged redistribution.
+
+The data-distribution substrate every algorithm layer builds on:
+
+* :mod:`repro.dist.layout` — index maps (:class:`CyclicLayout`,
+  :class:`BlockedLayout`, :class:`BlockCyclicLayout`) describing which
+  global rows/columns each grid coordinate owns;
+* :mod:`repro.dist.distmatrix` — :class:`DistMatrix`, the container
+  coupling a machine, a 2D grid, a layout and per-rank blocks;
+* :mod:`repro.dist.redistribute` — charged transitions between grids,
+  layouts and submatrix windows (:func:`redistribute`,
+  :func:`change_layout`, :func:`transpose_matrix`,
+  :func:`extract_submatrix`, :func:`embed_submatrix`);
+* :mod:`repro.dist.triangular` — triangular-structure validation and word
+  counts shared by the solvers and factorizations.
+"""
+
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layout import (
+    BlockCyclicLayout,
+    BlockedLayout,
+    CyclicLayout,
+    Layout,
+    expected_local_words,
+)
+from repro.dist.redistribute import (
+    change_layout,
+    embed_submatrix,
+    extract_submatrix,
+    redistribute,
+    transpose_matrix,
+)
+from repro.dist.triangular import (
+    block_diagonal_words,
+    diagonal_block,
+    is_lower_triangular,
+    require_lower_triangular,
+    require_nonsingular_triangular,
+    require_square,
+    triangle_words,
+)
+
+__all__ = [
+    "Layout",
+    "CyclicLayout",
+    "BlockedLayout",
+    "BlockCyclicLayout",
+    "expected_local_words",
+    "DistMatrix",
+    "redistribute",
+    "change_layout",
+    "transpose_matrix",
+    "extract_submatrix",
+    "embed_submatrix",
+    "is_lower_triangular",
+    "require_square",
+    "require_lower_triangular",
+    "require_nonsingular_triangular",
+    "diagonal_block",
+    "triangle_words",
+    "block_diagonal_words",
+]

@@ -1,0 +1,159 @@
+"""DistMatrix: a matrix distributed over a 2D processor grid.
+
+The container every algorithm layer operates on.  A :class:`DistMatrix`
+couples four things:
+
+* a :class:`~repro.machine.machine.Machine` (for cost/memory accounting),
+* a 2D :class:`~repro.machine.topology.ProcessorGrid` (which ranks),
+* a :class:`~repro.dist.layout.Layout` (which indices live where), and
+* ``blocks`` — a dict ``machine rank -> local ndarray``, the actual data.
+
+Distribution and assembly (:meth:`from_global` / :meth:`to_global`) are
+**free**: the simulation treats the initial data placement as given, exactly
+as the paper's Require clauses do ("initially distributed cyclically"), and
+``to_global`` is the debugging/verification view, not a collective.  All
+*charged* movement between grids and layouts lives in
+:mod:`repro.dist.redistribute`.
+
+Construction registers each rank's block words with the machine's
+:class:`~repro.machine.memory.MemoryTracker`, so per-rank footprints of
+replicated operands show up in ``machine.memory.peak_words()``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.dist.layout import Layout, expected_local_words
+from repro.machine.validate import GridError, ShapeError, require
+
+
+class DistMatrix:
+    """A dense matrix distributed over a 2D processor grid by a layout."""
+
+    __slots__ = ("machine", "grid", "layout", "shape", "blocks")
+
+    def __init__(
+        self,
+        machine,
+        grid,
+        layout: Layout,
+        shape: tuple[int, int],
+        blocks: Mapping[int, np.ndarray],
+    ):
+        require(
+            grid.ndim == 2,
+            GridError,
+            f"DistMatrix requires a 2D grid, got shape {grid.shape}",
+        )
+        require(
+            (layout.pr, layout.pc) == grid.shape,
+            GridError,
+            f"layout is for a {layout.pr} x {layout.pc} grid, "
+            f"but the grid has shape {grid.shape}",
+        )
+        rank_set = set(grid.ranks())
+        require(
+            set(blocks) == rank_set,
+            ShapeError,
+            f"blocks must cover exactly the grid's ranks: "
+            f"missing {sorted(rank_set - set(blocks))}, "
+            f"extra {sorted(set(blocks) - rank_set)}",
+        )
+        self.machine = machine
+        self.grid = grid
+        self.layout = layout
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.blocks: dict[int, np.ndarray] = dict(blocks)
+        for coord in grid.coords():
+            block = self.blocks[grid.rank(coord)]
+            expected = layout.local_shape(coord, self.shape)
+            require(
+                block.shape == expected,
+                ShapeError,
+                f"block at {coord} has shape {block.shape}, layout expects "
+                f"{expected} for global shape {self.shape}",
+            )
+        for rank, block in self.blocks.items():
+            machine.memory.observe(rank, float(block.size))
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_global(cls, machine, grid, layout: Layout, A: np.ndarray) -> "DistMatrix":
+        """Distribute a global matrix (zero-cost initial placement)."""
+        require(
+            grid.ndim == 2,
+            GridError,
+            f"DistMatrix requires a 2D grid, got shape {grid.shape}",
+        )
+        require(
+            (layout.pr, layout.pc) == grid.shape,
+            GridError,
+            f"layout is for a {layout.pr} x {layout.pc} grid, "
+            f"but the grid has shape {grid.shape}",
+        )
+        A = np.asarray(A, dtype=np.float64)
+        require(
+            A.ndim == 2,
+            ShapeError,
+            f"DistMatrix holds 2D matrices; got an array of ndim {A.ndim} "
+            "(reshape vectors to (n, 1) first)",
+        )
+        blocks = {
+            grid.rank(coord): layout.extract(A, coord) for coord in grid.coords()
+        }
+        return cls(machine, grid, layout, A.shape, blocks)
+
+    @classmethod
+    def zeros(
+        cls, machine, grid, layout: Layout, shape: tuple[int, int]
+    ) -> "DistMatrix":
+        """An all-zero distributed matrix of the given global shape."""
+        return cls.from_global(machine, grid, layout, np.zeros(shape))
+
+    # -- access -------------------------------------------------------------
+
+    def local(self, coord: tuple[int, int]) -> np.ndarray:
+        """The local block at grid coordinate ``coord``."""
+        return self.blocks[self.grid.rank(coord)]
+
+    def set_local(self, coord: tuple[int, int], block: np.ndarray) -> None:
+        """Replace the block at ``coord``; the shape must match the layout."""
+        block = np.asarray(block, dtype=np.float64)
+        expected = self.layout.local_shape(coord, self.shape)
+        require(
+            block.shape == expected,
+            ShapeError,
+            f"block at {coord} must have shape {expected}, got {block.shape}",
+        )
+        self.blocks[self.grid.rank(coord)] = block
+
+    def to_global(self) -> np.ndarray:
+        """Assemble the global matrix (free; a verification/debug view)."""
+        out = np.zeros(self.shape)
+        for coord in self.grid.coords():
+            self.layout.place(out, coord, self.blocks[self.grid.rank(coord)])
+        return out
+
+    def copy(self) -> "DistMatrix":
+        """Deep copy: same machine/grid/layout, private block storage."""
+        return DistMatrix(
+            self.machine,
+            self.grid,
+            self.layout,
+            self.shape,
+            {r: b.copy() for r, b in self.blocks.items()},
+        )
+
+    def words_per_rank(self) -> int:
+        """Largest per-rank block size — the redistribution ``n_per_rank``."""
+        return expected_local_words(self.layout, self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistMatrix(shape={self.shape}, grid={self.grid.shape}, "
+            f"layout={self.layout!r})"
+        )

@@ -1,0 +1,218 @@
+"""Data layouts: how a global matrix maps onto a 2D processor grid.
+
+A :class:`Layout` is a pure index map — it owns no data and no ranks.  For a
+``pr x pc`` grid it answers "which global rows/columns does grid coordinate
+``(x, y)`` hold?".  The paper's Section II-B layouts are all here:
+
+* :class:`CyclicLayout` — the paper's default.  Processor ``(x, y)`` owns
+  ``L[x, y](i, j) = L(i*pr + x, j*pc + y)``: rows congruent to ``x`` mod
+  ``pr`` and columns congruent to ``y`` mod ``pc``;
+* :class:`BlockedLayout` — ``pr x pc`` contiguous tiles, raggedness
+  front-loaded (the first ``m mod pr`` row tiles get one extra row);
+* :class:`BlockCyclicLayout` — cyclic over *physical blocks* of ``br x bc``
+  elements; ``br = bc = 1`` degenerates to the cyclic layout, and
+  ``br = ceil(m/pr)`` makes each processor's rows one contiguous run.
+
+Layouts are cheap immutable value objects (equality by parameters), shared
+freely between :class:`~repro.dist.distmatrix.DistMatrix` instances.  Index
+arrays are always ascending, and the per-coordinate index sets partition the
+global index space exactly — the property test in ``tests/test_layout.py``
+enforces this for every layout class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.validate import ShapeError, require
+from repro.util.mathutil import split_indices
+
+
+class Layout:
+    """Base class: a 2D index map over a ``pr x pc`` grid.
+
+    Subclasses implement ``_rows(x, m)`` and ``_cols(y, n)`` returning the
+    ascending global indices owned by grid row ``x`` / grid column ``y``.
+    Everything else (extraction, placement, window queries, local shapes)
+    derives from those two maps, so a new layout is ~10 lines of code.
+    """
+
+    def __init__(self, pr: int, pc: int):
+        require(
+            int(pr) >= 1 and int(pc) >= 1,
+            ShapeError,
+            f"layout grid factors must be >= 1, got ({pr}, {pc})",
+        )
+        self.pr = int(pr)
+        self.pc = int(pc)
+
+    # -- the two subclass hooks ---------------------------------------------
+
+    def _rows(self, x: int, m: int) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _cols(self, y: int, n: int) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- public index maps --------------------------------------------------
+
+    def row_indices(self, x: int, m: int) -> np.ndarray:
+        """Ascending global row indices owned by grid row ``x`` (of ``m``)."""
+        require(
+            0 <= int(x) < self.pr,
+            ShapeError,
+            f"grid row {x} out of range for pr={self.pr}",
+        )
+        return self._rows(int(x), int(m))
+
+    def col_indices(self, y: int, n: int) -> np.ndarray:
+        """Ascending global column indices owned by grid column ``y``."""
+        require(
+            0 <= int(y) < self.pc,
+            ShapeError,
+            f"grid column {y} out of range for pc={self.pc}",
+        )
+        return self._cols(int(y), int(n))
+
+    def local_rows_in(self, x: int, m: int, lo: int, hi: int) -> np.ndarray:
+        """Positions *within the local row list* whose global row is in
+        the half-open window ``[lo, hi)`` — the block-row selector every
+        iteration of It-Inv-TRSM needs."""
+        rows = self.row_indices(x, m)
+        return np.nonzero((rows >= lo) & (rows < hi))[0]
+
+    def local_cols_in(self, y: int, n: int, lo: int, hi: int) -> np.ndarray:
+        """Column counterpart of :meth:`local_rows_in`."""
+        cols = self.col_indices(y, n)
+        return np.nonzero((cols >= lo) & (cols < hi))[0]
+
+    # -- data movement helpers ----------------------------------------------
+
+    def local_shape(self, coord: tuple[int, int], shape: tuple[int, int]) -> tuple[int, int]:
+        """Shape of the local block at ``coord`` for a global ``shape``."""
+        x, y = coord
+        m, n = shape
+        return (len(self.row_indices(x, m)), len(self.col_indices(y, n)))
+
+    def extract(self, A: np.ndarray, coord: tuple[int, int]) -> np.ndarray:
+        """The local block of global matrix ``A`` at grid coordinate ``coord``."""
+        x, y = coord
+        m, n = A.shape
+        return A[np.ix_(self.row_indices(x, m), self.col_indices(y, n))]
+
+    def place(self, out: np.ndarray, coord: tuple[int, int], block: np.ndarray) -> None:
+        """Inverse of :meth:`extract`: scatter ``block`` into global ``out``."""
+        x, y = coord
+        m, n = out.shape
+        rows = self.row_indices(x, m)
+        cols = self.col_indices(y, n)
+        require(
+            block.shape == (len(rows), len(cols)),
+            ShapeError,
+            f"block at {coord} has shape {block.shape}, layout expects "
+            f"({len(rows)}, {len(cols)})",
+        )
+        out[np.ix_(rows, cols)] = block
+
+    def transposed(self) -> "Layout":
+        """The layout of the transposed matrix on the transposed grid."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a transposed layout"
+        )
+
+    # -- value semantics ----------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.pr, self.pc)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Layout) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(pr={self.pr}, pc={self.pc})"
+
+
+class CyclicLayout(Layout):
+    """Element-cyclic: ``(x, y)`` owns ``L(i*pr + x, j*pc + y)``."""
+
+    def _rows(self, x: int, m: int) -> np.ndarray:
+        return np.arange(x, m, self.pr)
+
+    def _cols(self, y: int, n: int) -> np.ndarray:
+        return np.arange(y, n, self.pc)
+
+    def transposed(self) -> "CyclicLayout":
+        return CyclicLayout(self.pc, self.pr)
+
+
+class BlockedLayout(Layout):
+    """Contiguous tiles, raggedness front-loaded (first tiles one larger)."""
+
+    def _rows(self, x: int, m: int) -> np.ndarray:
+        lo, hi = split_indices(m, self.pr)[x]
+        return np.arange(lo, hi)
+
+    def _cols(self, y: int, n: int) -> np.ndarray:
+        lo, hi = split_indices(n, self.pc)[y]
+        return np.arange(lo, hi)
+
+    def transposed(self) -> "BlockedLayout":
+        return BlockedLayout(self.pc, self.pr)
+
+
+class BlockCyclicLayout(Layout):
+    """Cyclic over physical ``br x bc`` blocks: ``(x, y)`` owns row ``i``
+    iff ``(i // br) mod pr == x`` (columns analogously with ``bc``/``pc``).
+
+    ``br = bc = 1`` is exactly :class:`CyclicLayout`; ``br >= ceil(m/pr)``
+    gives each grid row one contiguous run of rows (ceil-chunked blocked).
+    """
+
+    def __init__(self, pr: int, pc: int, br: int = 1, bc: int = 1):
+        super().__init__(pr, pc)
+        require(
+            int(br) >= 1 and int(bc) >= 1,
+            ShapeError,
+            f"physical block sizes must be >= 1, got ({br}, {bc})",
+        )
+        self.br = int(br)
+        self.bc = int(bc)
+
+    def _rows(self, x: int, m: int) -> np.ndarray:
+        if self.br == 1:
+            return np.arange(x, m, self.pr)
+        i = np.arange(m)
+        return i[(i // self.br) % self.pr == x]
+
+    def _cols(self, y: int, n: int) -> np.ndarray:
+        if self.bc == 1:
+            return np.arange(y, n, self.pc)
+        j = np.arange(n)
+        return j[(j // self.bc) % self.pc == y]
+
+    def transposed(self) -> "BlockCyclicLayout":
+        return BlockCyclicLayout(self.pc, self.pr, br=self.bc, bc=self.br)
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.pr, self.pc, self.br, self.bc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockCyclicLayout(pr={self.pr}, pc={self.pc}, "
+            f"br={self.br}, bc={self.bc})"
+        )
+
+
+def expected_local_words(layout: Layout, shape: tuple[int, int]) -> int:
+    """Largest per-rank block size (words) for ``shape`` under ``layout``.
+
+    This is the ``n_per_rank`` of every all-to-all-bound redistribution
+    charge, and the per-rank storage a :class:`DistMatrix` registers.
+    """
+    m, n = int(shape[0]), int(shape[1])
+    max_rows = max(len(layout.row_indices(x, m)) for x in range(layout.pr))
+    max_cols = max(len(layout.col_indices(y, n)) for y in range(layout.pc))
+    return int(max_rows * max_cols)

@@ -1,0 +1,217 @@
+"""Charged data movement between grids, layouts and submatrices.
+
+Where :meth:`DistMatrix.from_global` is free (initial placement), every
+function here models a *transition* of live distributed data and charges the
+machine accordingly:
+
+* :func:`redistribute` — move a matrix to another grid and/or layout at the
+  all-to-all bound over the union of the two rank sets (the paper's
+  cyclic -> blocked -> cyclic transitions in RecTriInv have exactly this
+  cost).  Identity transitions are free and return the input unchanged;
+* :func:`change_layout` — same-grid layout change (a redistribution);
+* :func:`transpose_matrix` — distributed transpose.  On a square grid this
+  is the paper's pairwise block exchange (``S = 1``); rectangular grids
+  fall back to the all-to-all bound;
+* :func:`extract_submatrix` / :func:`embed_submatrix` — the recursion
+  primitives.  When the window is *aligned* (every rank's sub-block is a
+  slice of data it already owns — e.g. cyclic windows starting at a
+  multiple of the grid dimension) they are free; misaligned windows are
+  charged at the all-to-all bound.
+
+Every function takes a ``label`` so traces and phase benches can attribute
+the movement (e.g. ``rectriinv.redistr``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layout import Layout, expected_local_words
+from repro.machine.collectives import sendrecv
+from repro.machine.validate import GridError, ShapeError, require
+
+
+def _charge_alltoall(machine, ranks: list[int], n_per_rank: float, label: str) -> None:
+    """Charge the all-to-all bound for moving ``n_per_rank`` words per rank."""
+    g = len(ranks)
+    if g > 1:
+        machine.charge(ranks, machine.coll.alltoall(g, float(n_per_rank)), label=label)
+
+
+def _same_index_maps(a: Layout, b: Layout, shape: tuple[int, int]) -> bool:
+    """True iff the two layouts place ``shape`` identically.
+
+    Compares the actual index maps, not the layout spellings, so e.g.
+    ``BlockCyclicLayout(pr, pc, br=1, bc=1)`` and ``CyclicLayout(pr, pc)``
+    count as the same distribution and transition for free.
+    """
+    if (a.pr, a.pc) != (b.pr, b.pc):
+        return False
+    m, n = shape
+    return all(
+        np.array_equal(a.row_indices(x, m), b.row_indices(x, m))
+        for x in range(a.pr)
+    ) and all(
+        np.array_equal(a.col_indices(y, n), b.col_indices(y, n))
+        for y in range(a.pc)
+    )
+
+
+def redistribute(
+    D: DistMatrix, grid, layout: Layout, label: str = "redistribute"
+) -> DistMatrix:
+    """Move ``D`` onto ``grid`` with ``layout``.
+
+    The identity transition (same grid, equivalent layout) is free and
+    returns ``D`` itself — equivalence is judged on the index maps, not
+    the layout object, so degenerate spellings of the same distribution
+    (e.g. block-cyclic with unit blocks vs cyclic) stay free.  Anything
+    else is charged at the all-to-all bound over the union of the source
+    and destination rank sets, with ``n_per_rank`` the larger of the two
+    per-rank footprints.
+    """
+    if grid == D.grid and (
+        layout == D.layout or _same_index_maps(D.layout, layout, D.shape)
+    ):
+        return D
+    union = list(dict.fromkeys(D.grid.ranks() + grid.ranks()))
+    n_per_rank = max(
+        D.words_per_rank(), expected_local_words(layout, D.shape)
+    )
+    _charge_alltoall(D.machine, union, n_per_rank, label)
+    return DistMatrix.from_global(D.machine, grid, layout, D.to_global())
+
+
+def change_layout(D: DistMatrix, layout: Layout, label: str = "change_layout") -> DistMatrix:
+    """Re-lay ``D`` on its own grid (e.g. cyclic -> blocked)."""
+    return redistribute(D, D.grid, layout, label=label)
+
+
+def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
+    """Distributed transpose: returns ``D.T`` on the same grid.
+
+    On a square grid the block at ``(x, y)`` and the block at ``(y, x)``
+    swap in one pairwise message per off-diagonal pair (``S = 1`` on the
+    critical path — the paper's square-grid transpose in MM line 4);
+    diagonal blocks transpose in place for free.  Rectangular grids have no
+    pairing, so the transition is charged at the all-to-all bound.
+    """
+    machine = D.machine
+    grid = D.grid
+    pr, pc = grid.shape
+    GT = D.to_global().T.copy()
+
+    try:
+        layout = D.layout.transposed()
+    except NotImplementedError:
+        layout = None
+    if pr == pc and layout is not None and (layout.pr, layout.pc) == grid.shape:
+        # The transposed layout's block at (x, y) is the transpose of the
+        # source block at (y, x), so one pairwise swap per off-diagonal
+        # pair realizes the transition.
+        for x in range(pr):
+            for y in range(x + 1, pc):
+                sendrecv(
+                    machine,
+                    grid.rank((x, y)),
+                    grid.rank((y, x)),
+                    D.local((x, y)),
+                    D.local((y, x)),
+                    label=label,
+                )
+    else:
+        # No pairing exists (rectangular grid, or a layout without a
+        # transposed counterpart): a general redistribution.
+        _charge_alltoall(machine, grid.ranks(), D.words_per_rank(), label)
+        layout = D.layout
+    return DistMatrix.from_global(machine, grid, layout, GT)
+
+
+# ---------------------------------------------------------------------------
+# submatrix extraction / embedding (the recursion primitives)
+# ---------------------------------------------------------------------------
+
+
+def _window_aligned(
+    sub_indices, own_indices, p: int, full: int, lo: int, sub: int
+) -> bool:
+    """True iff every rank's sub-window indices are indices it already owns."""
+    for x in range(p):
+        shifted = sub_indices(x, sub) + lo
+        if shifted.size and not np.all(np.isin(shifted, own_indices(x, full))):
+            return False
+    return True
+
+
+def extract_submatrix(
+    D: DistMatrix, r0: int, r1: int, c0: int, c1: int, label: str = "extract"
+) -> DistMatrix:
+    """The submatrix ``D[r0:r1, c0:c1]`` in ``D``'s layout on ``D``'s grid.
+
+    Aligned windows (each rank's piece already local — for the cyclic
+    layout: ``r0 % pr == 0`` and ``c0 % pc == 0``) are free; misaligned
+    windows are charged at the all-to-all bound for the submatrix volume.
+    The result is a standard (offset-free) distribution of the submatrix.
+    """
+    m, n = D.shape
+    require(
+        0 <= r0 <= r1 <= m and 0 <= c0 <= c1 <= n,
+        ShapeError,
+        f"window [{r0}:{r1}, {c0}:{c1}] out of range for shape {D.shape}",
+    )
+    lay = D.layout
+    sub_shape = (r1 - r0, c1 - c0)
+    aligned = _window_aligned(
+        lay.row_indices, lay.row_indices, lay.pr, m, r0, sub_shape[0]
+    ) and _window_aligned(
+        lay.col_indices, lay.col_indices, lay.pc, n, c0, sub_shape[1]
+    )
+    if not aligned:
+        _charge_alltoall(
+            D.machine,
+            D.grid.ranks(),
+            expected_local_words(lay, sub_shape),
+            label,
+        )
+    G = D.to_global()
+    return DistMatrix.from_global(D.machine, D.grid, lay, G[r0:r1, c0:c1])
+
+
+def embed_submatrix(
+    target: DistMatrix, sub: DistMatrix, r0: int, c0: int, label: str = "embed"
+) -> DistMatrix:
+    """Write ``sub`` into ``target`` at offset ``(r0, c0)``, in place.
+
+    ``sub`` must live on the same grid as ``target``.  Aligned offsets are
+    free (each rank writes into its own block); misaligned offsets are
+    charged at the all-to-all bound for ``sub``'s volume.  Returns
+    ``target`` for chaining.
+    """
+    require(
+        sub.grid == target.grid,
+        GridError,
+        "embed_submatrix requires sub and target on the same grid",
+    )
+    sm, sn = sub.shape
+    M, N = target.shape
+    require(
+        0 <= r0 and r0 + sm <= M and 0 <= c0 and c0 + sn <= N,
+        ShapeError,
+        f"submatrix of shape {sub.shape} at offset ({r0}, {c0}) "
+        f"does not fit in target of shape {target.shape}",
+    )
+    aligned = _window_aligned(
+        sub.layout.row_indices, target.layout.row_indices, sub.layout.pr, M, r0, sm
+    ) and _window_aligned(
+        sub.layout.col_indices, target.layout.col_indices, sub.layout.pc, N, c0, sn
+    )
+    if not aligned:
+        _charge_alltoall(
+            target.machine, target.grid.ranks(), sub.words_per_rank(), label
+        )
+    G = target.to_global()
+    G[r0 : r0 + sm, c0 : c0 + sn] = sub.to_global()
+    for coord in target.grid.coords():
+        target.blocks[target.grid.rank(coord)] = target.layout.extract(G, coord)
+    return target

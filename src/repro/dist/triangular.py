@@ -1,0 +1,105 @@
+"""Triangular-structure helpers shared by every solver and factorization.
+
+Validation (``require_*``) raises :class:`~repro.machine.validate.ShapeError`
+with actionable messages; the ``*_words`` helpers are the exact storage
+counts the cost models charge for triangular and block-diagonal operands
+(the paper stores triangles, not padded squares).
+
+``require_square`` is deliberately duck-typed: it accepts anything with a
+2-tuple ``.shape`` — a numpy array or a
+:class:`~repro.dist.distmatrix.DistMatrix` — so algorithm entry points
+validate distributed and global operands with the same call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.validate import ShapeError, require
+from repro.util.mathutil import ceil_div
+
+
+def require_square(A, name: str = "matrix") -> int:
+    """Validate that ``A`` (ndarray or DistMatrix) is square; return ``n``."""
+    shape = getattr(A, "shape", None)
+    require(
+        shape is not None and len(shape) == 2,
+        ShapeError,
+        f"{name} must be a 2D matrix, got shape {shape!r}",
+    )
+    require(
+        shape[0] == shape[1],
+        ShapeError,
+        f"{name} must be square, got shape {tuple(shape)}",
+    )
+    return int(shape[0])
+
+
+def is_lower_triangular(A: np.ndarray, tol: float = 0.0) -> bool:
+    """True iff every strictly-upper entry of ``A`` is ``<= tol`` in magnitude."""
+    A = np.asarray(A)
+    if A.shape[0] <= 1 or A.shape[1] <= 1:
+        return True
+    upper = A[np.triu_indices_from(A, k=1)]
+    return bool(upper.size == 0 or np.max(np.abs(upper)) <= tol)
+
+
+def require_lower_triangular(A: np.ndarray, name: str = "matrix", tol: float = 0.0) -> None:
+    """Raise :class:`ShapeError` unless ``A`` is lower triangular."""
+    require(
+        is_lower_triangular(A, tol=tol),
+        ShapeError,
+        f"{name} must be lower triangular (strict upper part exceeds tol={tol})",
+    )
+
+
+def require_nonsingular_triangular(A: np.ndarray, name: str = "matrix") -> None:
+    """Raise :class:`ShapeError` if any diagonal entry of ``A`` is zero.
+
+    A triangular matrix is singular exactly when its diagonal has a zero;
+    this is the cheap a-priori check every solve performs before starting
+    to move data.
+    """
+    d = np.abs(np.diag(np.asarray(A)))
+    require(
+        bool(np.all(d > 0.0)),
+        ShapeError,
+        f"{name} is singular: zero on the diagonal at index "
+        f"{int(np.argmin(d))}",
+    )
+
+
+def diagonal_block(A: np.ndarray, b: int, n0: int) -> np.ndarray:
+    """The ``b``-th ``n0 x n0`` diagonal block ``A[b*n0:(b+1)*n0, ...]``."""
+    n = require_square(A, "A")
+    require(
+        b >= 0 and n0 >= 1 and (b + 1) * n0 <= n,
+        ShapeError,
+        f"diagonal block {b} of size {n0} out of range for n={n}",
+    )
+    lo, hi = b * n0, (b + 1) * n0
+    return A[lo:hi, lo:hi]
+
+
+def triangle_words(n: int) -> int:
+    """Words in an ``n x n`` triangle including the diagonal: ``n(n+1)/2``."""
+    require(n >= 0, ShapeError, f"triangle_words needs n >= 0, got {n}")
+    return n * (n + 1) // 2
+
+
+def block_diagonal_words(n: int, n0: int) -> int:
+    """Words in the ``n/n0`` dense ``n0 x n0`` diagonal blocks of an ``n x n``
+    matrix — the storage of the Diagonal-Inverter's output."""
+    require(
+        n0 >= 1 and n >= 0 and n % n0 == 0,
+        ShapeError,
+        f"block size n0={n0} must divide n={n}",
+    )
+    return (n // n0) * n0 * n0
+
+
+def padded_block_count(n: int, n0: int) -> int:
+    """Number of diagonal blocks covering ``n`` rows at block size ``n0``
+    (``ceil(n/n0)``; the last block may be ragged)."""
+    require(n0 >= 1, ShapeError, f"block size must be >= 1, got {n0}")
+    return ceil_div(max(n, 0), n0)

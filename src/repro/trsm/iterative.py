@@ -36,7 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
-from repro.dist.layout import CyclicLayout, Layout
+from repro.dist.layout import BlockCyclicLayout, BlockedLayout, CyclicLayout, Layout
 from repro.dist.triangular import (
     require_lower_triangular,
     require_nonsingular_triangular,
@@ -58,32 +58,27 @@ class _RowCyclicColBlocked(Layout):
     This is the paper's layout for ``B`` on the ``(x, z)`` plane — the
     Require clause's "blocked layout with a physical block size of
     ``b x k/p2``".  ``b = 1`` (the default everywhere) is element-cyclic.
+    The index maps are the shared ``dist.layout`` machinery: rows from a
+    one-axis :class:`BlockCyclicLayout`, columns from a one-axis
+    :class:`BlockedLayout`.
     """
 
     def __init__(self, pr: int, pc: int, b: int = 1):
         if b < 1:
             raise ValueError(f"row block size must be >= 1, got {b}")
-        self.pr = pr
-        self.pc = pc
+        super().__init__(pr, pc)
         self.b = int(b)
+        self._row_map = BlockCyclicLayout(pr, 1, br=self.b)
+        self._col_map = BlockedLayout(1, pc)
 
-    def row_indices(self, x: int, m: int) -> np.ndarray:
-        if self.b == 1:
-            return np.arange(x, m, self.pr)
-        i = np.arange(m)
-        return i[(i // self.b) % self.pr == x]
+    def _rows(self, x: int, m: int) -> np.ndarray:
+        return self._row_map.row_indices(x, m)
 
-    def col_indices(self, y: int, n: int) -> np.ndarray:
-        lo, hi = split_indices(n, self.pc)[y]
-        return np.arange(lo, hi)
+    def _cols(self, y: int, n: int) -> np.ndarray:
+        return self._col_map.col_indices(y, n)
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _RowCyclicColBlocked) and (
-            (self.pr, self.pc, self.b) == (other.pr, other.pc, other.b)
-        )
-
-    def __hash__(self) -> int:
-        return hash(("_RowCyclicColBlocked", self.pr, self.pc, self.b))
+    def _key(self) -> tuple:
+        return ("_RowCyclicColBlocked", self.pr, self.pc, self.b)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"_RowCyclicColBlocked(pr={self.pr}, pc={self.pc}, b={self.b})"
@@ -138,16 +133,11 @@ def it_inv_trsm(
     Lg = L.to_global()
     Dg = Ltilde.to_global()
 
-    # Row-ownership classes.  The paper's B layout has a physical row block
-    # size b (Require clause); the algorithm is valid for any partition of
+    # Row-ownership classes.  The algorithm is valid for any partition of
     # the rows into p1 classes as long as L's column classes and B's row
-    # classes coincide, so we derive the partition from B's layout.
-    row_block = int(getattr(B.layout, "b", 1))
-    if row_block == 1:
-        rows_of = [np.arange(c, n, p1) for c in range(p1)]
-    else:
-        idx = np.arange(n)
-        rows_of = [idx[(idx // row_block) % p1 == c] for c in range(p1)]
+    # classes coincide, so the partition comes straight from B's layout
+    # (the paper's Require clause is the b-block-cyclic special case).
+    rows_of = [B.layout.row_indices(c, n) for c in range(p1)]
 
     # ---------------- phase: setup (replications) ----------------------------
     # B: broadcast each (x, z) block along its y fiber; afterwards every
@@ -316,9 +306,10 @@ def it_inv_trsm(
                         )
 
     # After the exchange, rank (x, 0, z) holds the array produced at
-    # (0, x, z), i.e. X(rows = x (mod p1), column slab z) — B's layout.
+    # (0, x, z), i.e. X(row class x, column slab z) — exactly B's layout,
+    # whatever row partition it prescribed (rows_of came from it).
     out_grid = grid3d.plane(1, 0)  # the (x, z) plane, shape p1 x p2
-    layout = _RowCyclicColBlocked(p1, p2, b=row_block)
+    layout = B.layout
     blocks = {
         out_grid.rank((x, z)): Xrep[(0, x, z)]
         for x in range(p1)
@@ -343,8 +334,6 @@ def it_inv_trsm_global(
     ``L`` is distributed with the matching block-cyclic partition so the
     two operands' row/column classes align.
     """
-    from repro.dist.layout import BlockCyclicLayout
-
     n = L_global.shape[0]
     B2 = np.asarray(B_global, dtype=np.float64).reshape(n, -1)
     grid3d = machine.grid(p1, p1, p2)

@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs end to end on small inputs."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,14 +8,20 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str, *args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH", "")) if p
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr
     return proc.stdout
