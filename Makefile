@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast selfcheck solve clean
+.PHONY: test test-fast bench-smoke selfcheck solve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
@@ -12,6 +12,10 @@ test-fast:
 	$(PYTHON) -m pytest -x -q tests/test_layout.py tests/test_distmatrix.py \
 		tests/test_redistribute.py tests/test_triangular_helpers.py \
 		tests/test_row_block.py tests/test_layout_equivalences.py
+
+## Tiny redistribution-routing sweep: fails fast on routing-cost regressions.
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHON) -m pytest -x -q benchmarks/bench_redistribute.py
 
 ## Acceptance battery on the simulated machine.
 selfcheck:

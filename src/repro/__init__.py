@@ -34,12 +34,19 @@ from repro.dist import (
     BlockedLayout,
     CyclicLayout,
     DistMatrix,
+    End,
     Layout,
+    RoutingPlan,
+    TransitionPlan,
     change_layout,
     expected_local_words,
     extract_submatrix,
     embed_submatrix,
+    fuse_transitions,
+    gather_frame,
     redistribute,
+    route_embed,
+    route_submatrix,
     transpose_matrix,
 )
 from repro.mm import mm1d, mm3d
@@ -94,6 +101,13 @@ __all__ = [
     "transpose_matrix",
     "extract_submatrix",
     "embed_submatrix",
+    "route_submatrix",
+    "route_embed",
+    "End",
+    "RoutingPlan",
+    "TransitionPlan",
+    "fuse_transitions",
+    "gather_frame",
     "mm3d",
     "mm1d",
     "invert_lower_triangular",

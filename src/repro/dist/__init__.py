@@ -7,10 +7,15 @@ The data-distribution substrate every algorithm layer builds on:
   global rows/columns each grid coordinate owns;
 * :mod:`repro.dist.distmatrix` — :class:`DistMatrix`, the container
   coupling a machine, a 2D grid, a layout and per-rank blocks;
+* :mod:`repro.dist.routing` — exact per-(sender, receiver) message plans
+  derived from index-map intersections (:class:`End`,
+  :class:`RoutingPlan`, :class:`TransitionPlan`, :func:`fuse_transitions`,
+  :func:`gather_frame`);
 * :mod:`repro.dist.redistribute` — charged transitions between grids,
   layouts and submatrix windows (:func:`redistribute`,
   :func:`change_layout`, :func:`transpose_matrix`,
-  :func:`extract_submatrix`, :func:`embed_submatrix`);
+  :func:`extract_submatrix`, :func:`embed_submatrix`) plus the fused
+  chains (:func:`route_submatrix`, :func:`route_embed`);
 * :mod:`repro.dist.triangular` — triangular-structure validation and word
   counts shared by the solvers and factorizations.
 """
@@ -28,7 +33,16 @@ from repro.dist.redistribute import (
     embed_submatrix,
     extract_submatrix,
     redistribute,
+    route_embed,
+    route_submatrix,
     transpose_matrix,
+)
+from repro.dist.routing import (
+    End,
+    RoutingPlan,
+    TransitionPlan,
+    fuse_transitions,
+    gather_frame,
 )
 from repro.dist.triangular import (
     block_diagonal_words,
@@ -52,6 +66,13 @@ __all__ = [
     "transpose_matrix",
     "extract_submatrix",
     "embed_submatrix",
+    "route_submatrix",
+    "route_embed",
+    "End",
+    "RoutingPlan",
+    "TransitionPlan",
+    "fuse_transitions",
+    "gather_frame",
     "is_lower_triangular",
     "require_square",
     "require_lower_triangular",

@@ -18,6 +18,24 @@ freely between :class:`~repro.dist.distmatrix.DistMatrix` instances.  Index
 arrays are always ascending, and the per-coordinate index sets partition the
 global index space exactly — the property test in ``tests/test_layout.py``
 enforces this for every layout class.
+
+Index maps are **memoized** per ``(layout, axis, size)`` in a module-level
+cache (layouts hash by their parameters, so equal spellings share entries).
+Each cache entry holds three read-only arrays per axis:
+
+* the per-coordinate ascending index arrays (what :meth:`Layout.row_indices`
+  returns),
+* the *owner* vector ``owners[g] = coordinate that owns global index g``, and
+* the *position* vector ``pos[g] = offset of g within its owner's list``.
+
+The owner/position maps are what :mod:`repro.dist.routing` intersects to
+derive exact per-(sender, receiver) message plans, and the cache is why the
+recursion hot loops (which re-derive the same maps at every level) stop
+rebuilding O(p*m) index arrays per call once the maps are warm —
+``tests/test_routing.py`` guards that repeats add no cache entries.
+Cache keys fingerprint the layout's full attribute dict (not just
+``_key()``), so a subclass that adds parameters without overriding
+``_key()`` can never be served another instance's maps.
 """
 
 from __future__ import annotations
@@ -26,6 +44,40 @@ import numpy as np
 
 from repro.machine.validate import ShapeError, require
 from repro.util.mathutil import split_indices
+
+#: (layout fingerprint, axis, size) -> (per-coord index arrays, owners, positions).
+_AXIS_CACHE: dict[tuple, tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray]] = {}
+
+#: (layout fingerprint, shape) -> largest per-rank block size in words.
+_WORDS_CACHE: dict[tuple, int] = {}
+
+#: Entry bound per cache: long sweeps over many distinct (layout, size)
+#: pairs evict oldest-first instead of growing without limit.  Far above
+#: any single solve's working set, so hot-loop reuse is unaffected.
+_CACHE_MAX_ENTRIES = 4096
+
+
+def _cache_put(cache: dict, key: tuple, value) -> None:
+    """Insert with FIFO eviction once the cache reaches its entry bound."""
+    while len(cache) >= _CACHE_MAX_ENTRIES:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def axis_cache_size() -> int:
+    """Number of memoized (layout, axis, size) index maps.
+
+    Exposed so tests can assert that repeated transitions over the same
+    layouts reuse the cached maps instead of growing the cache.
+    """
+    return len(_AXIS_CACHE)
+
+
+def clear_layout_caches() -> None:
+    """Drop all memoized index maps (the cache-growth regression test in
+    ``tests/test_routing.py`` starts from this for a deterministic count)."""
+    _AXIS_CACHE.clear()
+    _WORDS_CACHE.clear()
 
 
 class Layout:
@@ -54,37 +106,110 @@ class Layout:
     def _cols(self, y: int, n: int) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- cached index maps --------------------------------------------------
+
+    def _fingerprint(self) -> tuple:
+        """Cache identity: the concrete type plus *every* attribute.
+
+        Deliberately stronger than ``_key()``: a subclass that adds
+        parameters but forgets to override ``_key()`` only mis-answers
+        equality, it must never be served another instance's cached maps.
+        Covers ``__slots__``-declared attributes as well as ``__dict__``.
+        """
+        state = dict(self.__dict__)
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if hasattr(self, name):
+                    state[name] = getattr(self, name)
+        return (type(self).__qualname__, tuple(sorted(state.items())))
+
+    def _axis_maps(
+        self, axis: int, size: int
+    ) -> tuple[tuple[np.ndarray, ...], np.ndarray, np.ndarray]:
+        """Memoized ``(index arrays, owners, positions)`` for one axis."""
+        key = (self._fingerprint(), axis, int(size))
+        hit = _AXIS_CACHE.get(key)
+        if hit is not None:
+            return hit
+        size = int(size)
+        build, count = (self._rows, self.pr) if axis == 0 else (self._cols, self.pc)
+        index = tuple(
+            np.ascontiguousarray(build(c, size), dtype=np.int64) for c in range(count)
+        )
+        owners = np.full(size, -1, dtype=np.int64)
+        pos = np.zeros(size, dtype=np.int64)
+        for c, idx in enumerate(index):
+            owners[idx] = c
+            pos[idx] = np.arange(len(idx), dtype=np.int64)
+        require(
+            sum(len(a) for a in index) == size
+            and (size == 0 or int(owners.min()) >= 0),
+            ShapeError,
+            f"{self!r} does not partition axis {axis} of size {size}",
+        )
+        for arr in (*index, owners, pos):
+            arr.setflags(write=False)
+        hit = (index, owners, pos)
+        _cache_put(_AXIS_CACHE, key, hit)
+        return hit
+
     # -- public index maps --------------------------------------------------
 
     def row_indices(self, x: int, m: int) -> np.ndarray:
-        """Ascending global row indices owned by grid row ``x`` (of ``m``)."""
+        """Ascending global row indices owned by grid row ``x`` (of ``m``).
+
+        The returned array is cached and read-only; copy before mutating.
+        """
         require(
             0 <= int(x) < self.pr,
             ShapeError,
             f"grid row {x} out of range for pr={self.pr}",
         )
-        return self._rows(int(x), int(m))
+        return self._axis_maps(0, m)[0][int(x)]
 
     def col_indices(self, y: int, n: int) -> np.ndarray:
-        """Ascending global column indices owned by grid column ``y``."""
+        """Ascending global column indices owned by grid column ``y``.
+
+        The returned array is cached and read-only; copy before mutating.
+        """
         require(
             0 <= int(y) < self.pc,
             ShapeError,
             f"grid column {y} out of range for pc={self.pc}",
         )
-        return self._cols(int(y), int(n))
+        return self._axis_maps(1, n)[0][int(y)]
+
+    def row_owner_map(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(owners, positions)`` over all ``m`` global rows (cached).
+
+        ``owners[g]`` is the grid row owning global row ``g`` and
+        ``positions[g]`` its offset inside that coordinate's local block —
+        the two vectors exact routing intersects.
+        """
+        _, owners, pos = self._axis_maps(0, m)
+        return owners, pos
+
+    def col_owner_map(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column counterpart of :meth:`row_owner_map` (cached)."""
+        _, owners, pos = self._axis_maps(1, n)
+        return owners, pos
 
     def local_rows_in(self, x: int, m: int, lo: int, hi: int) -> np.ndarray:
         """Positions *within the local row list* whose global row is in
         the half-open window ``[lo, hi)`` — the block-row selector every
-        iteration of It-Inv-TRSM needs."""
+        iteration of It-Inv-TRSM needs.
+
+        The cached index arrays are ascending, so the window is an
+        *interval view*: two binary searches bound it, no O(m) scan."""
         rows = self.row_indices(x, m)
-        return np.nonzero((rows >= lo) & (rows < hi))[0]
+        i0, i1 = np.searchsorted(rows, (lo, hi))
+        return np.arange(i0, i1)
 
     def local_cols_in(self, y: int, n: int, lo: int, hi: int) -> np.ndarray:
         """Column counterpart of :meth:`local_rows_in`."""
         cols = self.col_indices(y, n)
-        return np.nonzero((cols >= lo) & (cols < hi))[0]
+        i0, i1 = np.searchsorted(cols, (lo, hi))
+        return np.arange(i0, i1)
 
     # -- data movement helpers ----------------------------------------------
 
@@ -209,10 +334,18 @@ class BlockCyclicLayout(Layout):
 def expected_local_words(layout: Layout, shape: tuple[int, int]) -> int:
     """Largest per-rank block size (words) for ``shape`` under ``layout``.
 
-    This is the ``n_per_rank`` of every all-to-all-bound redistribution
-    charge, and the per-rank storage a :class:`DistMatrix` registers.
+    This is the ``n_per_rank`` of the all-to-all *bound* (the envelope the
+    exact routing plans are property-tested against) and the per-rank
+    storage a :class:`DistMatrix` registers.  Memoized per (layout, shape).
     """
     m, n = int(shape[0]), int(shape[1])
-    max_rows = max(len(layout.row_indices(x, m)) for x in range(layout.pr))
-    max_cols = max(len(layout.col_indices(y, n)) for y in range(layout.pc))
-    return int(max_rows * max_cols)
+    key = (layout._fingerprint(), m, n)
+    words = _WORDS_CACHE.get(key)
+    if words is None:
+        row_owners, _ = layout.row_owner_map(m)
+        col_owners, _ = layout.col_owner_map(n)
+        max_rows = int(np.bincount(row_owners, minlength=layout.pr).max()) if m else 0
+        max_cols = int(np.bincount(col_owners, minlength=layout.pc).max()) if n else 0
+        words = max_rows * max_cols
+        _cache_put(_WORDS_CACHE, key, words)
+    return words

@@ -1,25 +1,30 @@
 """Charged data movement between grids, layouts and submatrices.
 
 Where :meth:`DistMatrix.from_global` is free (initial placement), every
-function here models a *transition* of live distributed data and charges the
-machine accordingly:
+function here models a *transition* of live distributed data.  Since PR 2
+every transition is charged at its **exact routing cost**: the per-(sender,
+receiver) message plan derived in :mod:`repro.dist.routing` from the two
+sides' index maps.  Identity and aligned transitions therefore cost zero by
+construction — there is no special-case branch — and blocks are routed
+directly between ranks instead of being assembled through a
+``to_global()`` scratch copy.
 
-* :func:`redistribute` — move a matrix to another grid and/or layout at the
-  all-to-all bound over the union of the two rank sets (the paper's
-  cyclic -> blocked -> cyclic transitions in RecTriInv have exactly this
-  cost).  Identity transitions are free and return the input unchanged;
+* :func:`redistribute` — move a matrix to another grid and/or layout;
 * :func:`change_layout` — same-grid layout change (a redistribution);
-* :func:`transpose_matrix` — distributed transpose.  On a square grid this
-  is the paper's pairwise block exchange (``S = 1``); rectangular grids
-  fall back to the all-to-all bound;
+* :func:`transpose_matrix` — distributed transpose.  On a square grid with
+  pairable block shapes this is the paper's pairwise block exchange
+  (``S = 1``); otherwise it falls back to the exact general route;
 * :func:`extract_submatrix` / :func:`embed_submatrix` — the recursion
-  primitives.  When the window is *aligned* (every rank's sub-block is a
-  slice of data it already owns — e.g. cyclic windows starting at a
-  multiple of the grid dimension) they are free; misaligned windows are
-  charged at the all-to-all bound.
+  primitives.  Aligned windows are free (every word stays on its rank);
+  misaligned windows charge exactly the words that cross ranks;
+* :func:`route_submatrix` / :func:`route_embed` — **fused** chains.  The
+  recursion call sites used to pay extract + redistribute (and
+  redistribute-back + embed) as separate charges; these helpers compose
+  the chain into one map with a single charge, the paper's three-step
+  cyclic/blocked/cyclic transition as one.
 
 Every function takes a ``label`` so traces and phase benches can attribute
-the movement (e.g. ``rectriinv.redistr``).
+the movement (e.g. ``rectriinv.route_down``).
 """
 
 from __future__ import annotations
@@ -27,65 +32,53 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
-from repro.dist.layout import Layout, expected_local_words
+from repro.dist.layout import Layout
+from repro.dist.routing import End, RoutingPlan, fuse_transitions
 from repro.machine.collectives import sendrecv
 from repro.machine.validate import GridError, ShapeError, require
-
-
-def _charge_alltoall(machine, ranks: list[int], n_per_rank: float, label: str) -> None:
-    """Charge the all-to-all bound for moving ``n_per_rank`` words per rank."""
-    g = len(ranks)
-    if g > 1:
-        machine.charge(ranks, machine.coll.alltoall(g, float(n_per_rank)), label=label)
-
-
-def _same_index_maps(a: Layout, b: Layout, shape: tuple[int, int]) -> bool:
-    """True iff the two layouts place ``shape`` identically.
-
-    Compares the actual index maps, not the layout spellings, so e.g.
-    ``BlockCyclicLayout(pr, pc, br=1, bc=1)`` and ``CyclicLayout(pr, pc)``
-    count as the same distribution and transition for free.
-    """
-    if (a.pr, a.pc) != (b.pr, b.pc):
-        return False
-    m, n = shape
-    return all(
-        np.array_equal(a.row_indices(x, m), b.row_indices(x, m))
-        for x in range(a.pr)
-    ) and all(
-        np.array_equal(a.col_indices(y, n), b.col_indices(y, n))
-        for y in range(a.pc)
-    )
 
 
 def redistribute(
     D: DistMatrix, grid, layout: Layout, label: str = "redistribute"
 ) -> DistMatrix:
-    """Move ``D`` onto ``grid`` with ``layout``.
+    """Move ``D`` onto ``grid`` with ``layout`` at the exact routing cost.
 
-    The identity transition (same grid, equivalent layout) is free and
-    returns ``D`` itself — equivalence is judged on the index maps, not
-    the layout object, so degenerate spellings of the same distribution
-    (e.g. block-cyclic with unit blocks vs cyclic) stay free.  Anything
-    else is charged at the all-to-all bound over the union of the source
-    and destination rank sets, with ``n_per_rank`` the larger of the two
-    per-rank footprints.
+    The charge comes from the per-pair plan: ``S`` is the largest number of
+    point-to-point partners any rank has, ``W`` the largest per-rank word
+    count sent or received.  A transition between identical index maps
+    (including degenerate spellings of the same distribution) moves nothing,
+    charges nothing, and returns ``D`` itself.
     """
-    if grid == D.grid and (
-        layout == D.layout or _same_index_maps(D.layout, layout, D.shape)
-    ):
+    plan = RoutingPlan(End.of(D), End(grid, layout, D.shape), D.shape)
+    plan.charge(D.machine, label)
+    if plan.is_free() and grid == D.grid and layout == D.layout:
+        # No word crossed a rank boundary and both sides are spelled the
+        # same: nothing to rebuild.  A free plan under a *different*
+        # spelling of the same distribution (e.g. unit-block block-cyclic
+        # -> cyclic) still charges nothing but falls through, so the
+        # result carries the layout the caller asked for.
         return D
-    union = list(dict.fromkeys(D.grid.ranks() + grid.ranks()))
-    n_per_rank = max(
-        D.words_per_rank(), expected_local_words(layout, D.shape)
-    )
-    _charge_alltoall(D.machine, union, n_per_rank, label)
-    return DistMatrix.from_global(D.machine, grid, layout, D.to_global())
+    return DistMatrix(D.machine, grid, layout, D.shape, plan.apply(D.blocks))
 
 
 def change_layout(D: DistMatrix, layout: Layout, label: str = "change_layout") -> DistMatrix:
     """Re-lay ``D`` on its own grid (e.g. cyclic -> blocked)."""
     return redistribute(D, D.grid, layout, label=label)
+
+
+def _pairable(D: DistMatrix, layout: Layout) -> bool:
+    """True iff the square-grid pairwise exchange realizes the transpose.
+
+    The exchange sets the block at ``(x, y)`` to the transpose of the
+    source block at ``(y, x)``, which is the true transposed matrix iff
+    the transposed layout's row map over ``n`` *is* the source's column
+    map (and vice versa) — compared on the cached owner maps, which is
+    exact where a shape comparison would be strictly weaker (a layout
+    with equal-sized but shifted index sets must fall back)."""
+    m, n = D.shape
+    return np.array_equal(
+        layout.row_owner_map(n)[0], D.layout.col_owner_map(n)[0]
+    ) and np.array_equal(layout.col_owner_map(m)[0], D.layout.row_owner_map(m)[0])
 
 
 def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
@@ -94,23 +87,32 @@ def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
     On a square grid the block at ``(x, y)`` and the block at ``(y, x)``
     swap in one pairwise message per off-diagonal pair (``S = 1`` on the
     critical path — the paper's square-grid transpose in MM line 4);
-    diagonal blocks transpose in place for free.  Rectangular grids have no
-    pairing, so the transition is charged at the all-to-all bound.
+    diagonal blocks transpose in place for free.  The pair's payloads can
+    differ for a rectangular matrix (``m != n`` makes the two blocks
+    different shapes), so each exchange is charged at the larger direction,
+    and block shapes are validated up front: layouts whose transposed
+    blocks don't pair — and rectangular grids, which have no pairing at
+    all — take the exact general route instead.
     """
     machine = D.machine
     grid = D.grid
     pr, pc = grid.shape
-    GT = D.to_global().T.copy()
+    m, n = D.shape
 
     try:
         layout = D.layout.transposed()
     except NotImplementedError:
         layout = None
-    if pr == pc and layout is not None and (layout.pr, layout.pc) == grid.shape:
-        # The transposed layout's block at (x, y) is the transpose of the
-        # source block at (y, x), so one pairwise swap per off-diagonal
-        # pair realizes the transition.
+    if layout is not None and (layout.pr, layout.pc) != grid.shape:
+        layout = None
+
+    if pr == pc and layout is not None and _pairable(D, layout):
+        # Pairwise exchange: rank (x, y)'s new block is the transpose of the
+        # source block at (y, x); sendrecv charges the larger payload of
+        # each off-diagonal pair, diagonal blocks transpose locally (free).
+        blocks = {}
         for x in range(pr):
+            blocks[grid.rank((x, x))] = D.local((x, x)).T.copy()
             for y in range(x + 1, pc):
                 sendrecv(
                     machine,
@@ -120,12 +122,20 @@ def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
                     D.local((y, x)),
                     label=label,
                 )
-    else:
-        # No pairing exists (rectangular grid, or a layout without a
-        # transposed counterpart): a general redistribution.
-        _charge_alltoall(machine, grid.ranks(), D.words_per_rank(), label)
-        layout = D.layout
-    return DistMatrix.from_global(machine, grid, layout, GT)
+                blocks[grid.rank((x, y))] = D.local((y, x)).T.copy()
+                blocks[grid.rank((y, x))] = D.local((x, y)).T.copy()
+        return DistMatrix(machine, grid, layout, (n, m), blocks)
+
+    # No pairing: route the transposed view exactly (the result keeps the
+    # source layout, as the rectangular-grid fallback always did).
+    result_layout = layout if layout is not None else D.layout
+    plan = RoutingPlan(
+        End(grid, D.layout, (m, n), transpose=True),
+        End(grid, result_layout, (n, m)),
+        (n, m),
+    )
+    plan.charge(machine, label)
+    return DistMatrix(machine, grid, result_layout, (n, m), plan.apply(D.blocks))
 
 
 # ---------------------------------------------------------------------------
@@ -133,15 +143,13 @@ def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
 # ---------------------------------------------------------------------------
 
 
-def _window_aligned(
-    sub_indices, own_indices, p: int, full: int, lo: int, sub: int
-) -> bool:
-    """True iff every rank's sub-window indices are indices it already owns."""
-    for x in range(p):
-        shifted = sub_indices(x, sub) + lo
-        if shifted.size and not np.all(np.isin(shifted, own_indices(x, full))):
-            return False
-    return True
+def _check_window(D: DistMatrix, r0: int, r1: int, c0: int, c1: int) -> None:
+    m, n = D.shape
+    require(
+        0 <= r0 <= r1 <= m and 0 <= c0 <= c1 <= n,
+        ShapeError,
+        f"window [{r0}:{r1}, {c0}:{c1}] out of range for shape {D.shape}",
+    )
 
 
 def extract_submatrix(
@@ -150,32 +158,19 @@ def extract_submatrix(
     """The submatrix ``D[r0:r1, c0:c1]`` in ``D``'s layout on ``D``'s grid.
 
     Aligned windows (each rank's piece already local — for the cyclic
-    layout: ``r0 % pr == 0`` and ``c0 % pc == 0``) are free; misaligned
-    windows are charged at the all-to-all bound for the submatrix volume.
-    The result is a standard (offset-free) distribution of the submatrix.
+    layout: ``r0 % pr == 0`` and ``c0 % pc == 0``) route nothing and are
+    free; misaligned windows charge exactly the words that change ranks.
+    An empty window (``r0 == r1`` or ``c0 == c1``) is free and returns a
+    valid zero-shape matrix.  The result is a standard (offset-free)
+    distribution of the submatrix.
     """
-    m, n = D.shape
-    require(
-        0 <= r0 <= r1 <= m and 0 <= c0 <= c1 <= n,
-        ShapeError,
-        f"window [{r0}:{r1}, {c0}:{c1}] out of range for shape {D.shape}",
+    _check_window(D, r0, r1, c0, c1)
+    shape = (r1 - r0, c1 - c0)
+    plan = RoutingPlan(
+        End.window_of(D, r0, c0), End(D.grid, D.layout, shape), shape
     )
-    lay = D.layout
-    sub_shape = (r1 - r0, c1 - c0)
-    aligned = _window_aligned(
-        lay.row_indices, lay.row_indices, lay.pr, m, r0, sub_shape[0]
-    ) and _window_aligned(
-        lay.col_indices, lay.col_indices, lay.pc, n, c0, sub_shape[1]
-    )
-    if not aligned:
-        _charge_alltoall(
-            D.machine,
-            D.grid.ranks(),
-            expected_local_words(lay, sub_shape),
-            label,
-        )
-    G = D.to_global()
-    return DistMatrix.from_global(D.machine, D.grid, lay, G[r0:r1, c0:c1])
+    plan.charge(D.machine, label)
+    return DistMatrix(D.machine, D.grid, D.layout, shape, plan.apply(D.blocks))
 
 
 def embed_submatrix(
@@ -183,16 +178,65 @@ def embed_submatrix(
 ) -> DistMatrix:
     """Write ``sub`` into ``target`` at offset ``(r0, c0)``, in place.
 
-    ``sub`` must live on the same grid as ``target``.  Aligned offsets are
-    free (each rank writes into its own block); misaligned offsets are
-    charged at the all-to-all bound for ``sub``'s volume.  Returns
-    ``target`` for chaining.
+    ``sub`` must live on the same grid as ``target`` (use
+    :func:`route_embed` for the cross-grid fused version).  Aligned offsets
+    are free (each rank writes into its own block); misaligned offsets
+    charge exactly the words that change ranks.  Returns ``target``.
     """
     require(
         sub.grid == target.grid,
         GridError,
         "embed_submatrix requires sub and target on the same grid",
     )
+    return route_embed(sub, target, r0, c0, label=label)
+
+
+def route_submatrix(
+    D: DistMatrix,
+    r0: int,
+    r1: int,
+    c0: int,
+    c1: int,
+    grid,
+    layout: Layout,
+    label: str = "route",
+) -> DistMatrix:
+    """Fused extract + redistribute: ``D[r0:r1, c0:c1]`` onto ``grid``.
+
+    The recursion call sites used to charge the extraction and the
+    redistribution separately; the fused transition composes the window
+    map with the destination map and charges the single exact route —
+    blocks travel source rank -> destination rank once.
+    """
+    _check_window(D, r0, r1, c0, c1)
+    shape = (r1 - r0, c1 - c0)
+    chain = fuse_transitions(
+        [
+            End.window_of(D, r0, c0),  # the window inside D
+            End(D.grid, D.layout, shape),  # (old step 1: standalone extract)
+            End(grid, layout, shape),  # (old step 2: redistribute)
+        ],
+        shape,
+    )
+    chain.charge(D.machine, label)
+    return DistMatrix(D.machine, grid, layout, shape, chain.apply(D.blocks))
+
+
+def route_embed(
+    sub: DistMatrix,
+    target: DistMatrix,
+    r0: int,
+    c0: int,
+    label: str = "route_embed",
+) -> DistMatrix:
+    """Fused redistribute + embed: write ``sub`` into ``target`` in place.
+
+    ``sub`` may live on any grid; the fused transition routes its blocks
+    straight into ``target``'s blocks at offset ``(r0, c0)`` with one
+    charge (the old chain paid a redistribution onto ``target``'s grid and
+    then an uncharged — or separately charged — placement).  Returns
+    ``target`` for chaining.
+    """
     sm, sn = sub.shape
     M, N = target.shape
     require(
@@ -201,17 +245,9 @@ def embed_submatrix(
         f"submatrix of shape {sub.shape} at offset ({r0}, {c0}) "
         f"does not fit in target of shape {target.shape}",
     )
-    aligned = _window_aligned(
-        sub.layout.row_indices, target.layout.row_indices, sub.layout.pr, M, r0, sm
-    ) and _window_aligned(
-        sub.layout.col_indices, target.layout.col_indices, sub.layout.pc, N, c0, sn
+    chain = fuse_transitions(
+        [End.of(sub), End.window_of(target, r0, c0)], (sm, sn)
     )
-    if not aligned:
-        _charge_alltoall(
-            target.machine, target.grid.ranks(), sub.words_per_rank(), label
-        )
-    G = target.to_global()
-    G[r0 : r0 + sm, c0 : c0 + sn] = sub.to_global()
-    for coord in target.grid.coords():
-        target.blocks[target.grid.rank(coord)] = target.layout.extract(G, coord)
+    chain.charge(target.machine, label)
+    chain.apply(sub.blocks, out=target.blocks)
     return target

@@ -21,6 +21,7 @@ from repro.inversion.cost_model import (
     NU,
     rec_tri_inv_cost,
     rec_tri_inv_recurrence,
+    redistribution_level_cost,
 )
 
 __all__ = [
@@ -29,5 +30,6 @@ __all__ = [
     "rec_tri_inv",
     "rec_tri_inv_cost",
     "rec_tri_inv_recurrence",
+    "redistribution_level_cost",
     "NU",
 ]

@@ -54,6 +54,28 @@ def rec_tri_inv_base_cost(n0: int, p1: int, p2: int) -> Cost:
     )
 
 
+def redistribution_level_cost(n: int, p: int) -> Cost:
+    """Exact-routing cost of one RecTriInv level's four fused transitions.
+
+    Each level routes ``L11``/``L22`` down to the quadrant grids and the
+    two inverses back — four fused extract/redistribute chains, each a
+    single charge under :mod:`repro.dist.routing`.  Going cyclic(sp) ->
+    cyclic(sp/2) maps every source coordinate onto exactly one destination
+    coordinate, so each destination rank receives from the 2 x 2
+    coordinate fan — 3 off-rank partners (``S = 3``) — and turns over
+    three quarters of its child block, ``3 (n/2)^2 / (p/4) / 4 = 3 n^2 /
+    (4 p)`` words.  Four transitions per level:
+
+        ``S = 12``, ``W = 3 n^2 / p``
+
+    — a constant number of messages per level where the old all-to-all
+    bound paid ``2 log p`` rounds, which is precisely what exact routing
+    buys.
+    """
+    n_f = float(n)
+    return Cost(S=12.0 * unit_step(p), W=3.0 * n_f * n_f / p * unit_step(p), F=0.0)
+
+
 def rec_tri_inv_recurrence(
     n: int, p: int, base_n: int = 1, _level: int = 0
 ) -> Cost:
@@ -62,7 +84,10 @@ def rec_tri_inv_recurrence(
     ``T(n, p) = T_redistr(n/2, p) + 2*T_MM(n/2, n/2, p) + T(n/2, p/4)``
     with a redundant subgrid base-case inversion once the grid side is 1 or
     ``n <= base_n``.  MM splits are chosen per level exactly as the
-    implementation does (minimum modeled time over valid splits).
+    implementation does (minimum modeled time over valid splits), and the
+    redistribution term is the exact-routing
+    :func:`redistribution_level_cost` (the all-to-all bound the paper uses
+    is an envelope of it).
 
     This is the tight "model of the implementation" that the simulator is
     checked against; the paper's closed form above is its idealized
@@ -77,7 +102,7 @@ def rec_tri_inv_recurrence(
         return Cost(S=lg, W=n_f * n_f * unit_step(p), F=n_f**3 / 6.0)
     h = n // 2
     lg = math.log2(p)
-    redistr = Cost(S=2.0 * lg, W=2.0 * (n_f * n_f / (4.0 * p)) * lg, F=0.0)
+    redistr = redistribution_level_cost(n, p)
     try:
         p1, p2 = choose_mm_split(h, h, p)
         mm = mm3d_cost(h, h, p1, p2)

@@ -13,14 +13,19 @@ logarithmic rather than polynomial in ``p``), then combines them with two
 Schedule per level, matching the paper's recurrence
 ``T(n, p) = T_redistr + 2*T_MM(n/2, n/2, p) + T(n/2, p/2)``:
 
-1. redistribute ``L11`` to grid half ``Pi1`` and ``L22`` to ``Pi2``
-   (all-to-all bound — the paper's three-step cyclic/blocked/cyclic
-   transition has the same cost);
+1. route ``L11`` to grid half ``Pi1`` and ``L22`` to ``Pi2``.  Each move
+   is a **fused transition** (extract + redistribute composed into one
+   map, the paper's three-step cyclic/blocked/cyclic transition as one)
+   charged at the exact per-pair routing cost;
 2. recurse on both halves *concurrently* (the simulator's per-group clocks
    overlap them automatically);
-3. redistribute both inverses back to the full grid;
+3. route both inverses back to the full grid (exact routing again);
 4. ``T = -MM(inv(L22), L21)`` and ``inv(L21) = MM(T, inv(L11))`` on the
-   full grid, with a-priori optimal MM splits.
+   full grid, with a-priori optimal MM splits;
+5. assemble the three pieces into the output through charged embeds —
+   when ``h`` is not a multiple of the grid side the offset blocks
+   genuinely change ranks, and the routing plan charges exactly those
+   words (the old scratch-copy assembly moved them silently for free).
 
 The base case (grid exhausted or ``n <= base_n``) allgathers the remaining
 block and inverts it **redundantly** on every rank of the subgrid, exactly
@@ -38,11 +43,14 @@ bandwidth ratio becomes ``2^{-2/3}`` instead of ``2^{-4/9}``).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.dist.distmatrix import DistMatrix
 from repro.dist.layout import CyclicLayout
-from repro.dist.redistribute import extract_submatrix, redistribute
+from repro.dist.redistribute import (
+    embed_submatrix,
+    extract_submatrix,
+    redistribute,
+    route_submatrix,
+)
 from repro.dist.triangular import (
     require_lower_triangular,
     require_nonsingular_triangular,
@@ -95,14 +103,12 @@ def rec_tri_inv(
     grid1 = top.halves(1)[0]  # top-left quadrant
     grid2 = bottom.halves(1)[1]  # bottom-right quadrant
 
-    L11 = extract_submatrix(L, 0, h, 0, h, label="rectriinv.extract11")
-    L22 = extract_submatrix(L, h, n, h, n, label="rectriinv.extract22")
-    L21 = extract_submatrix(L, h, n, 0, h, label="rectriinv.extract21")
-
+    # -- fused extract + redistribute: one exact charge per child chain -------
     lay1 = CyclicLayout(*grid1.shape)
     lay2 = CyclicLayout(*grid2.shape)
-    L11h = redistribute(L11, grid1, lay1, label="rectriinv.redistr")
-    L22h = redistribute(L22, grid2, lay2, label="rectriinv.redistr")
+    L11h = route_submatrix(L, 0, h, 0, h, grid1, lay1, label="rectriinv.route_down")
+    L22h = route_submatrix(L, h, n, h, n, grid2, lay2, label="rectriinv.route_down")
+    L21 = extract_submatrix(L, h, n, 0, h, label="rectriinv.extract21")
 
     # -- concurrent recursive inversions (disjoint rank groups) ---------------
     inv11h = rec_tri_inv(L11h, base_n=base_n, _depth=_depth + 1)
@@ -110,19 +116,20 @@ def rec_tri_inv(
 
     # -- back to the full grid, then two full-grid multiplications ------------
     layf = CyclicLayout(*grid.shape)
-    inv11 = redistribute(inv11h, grid, layf, label="rectriinv.redistr_back")
-    inv22 = redistribute(inv22h, grid, layf, label="rectriinv.redistr_back")
+    inv11 = redistribute(inv11h, grid, layf, label="rectriinv.route_back")
+    inv22 = redistribute(inv22h, grid, layf, label="rectriinv.route_back")
 
     p1, _p2 = choose_mm_split(h, h, p, params=machine.params)
     T = mm3d(inv22, L21, p1, scale=-1.0)  # -inv(L22) @ L21
     inv21 = mm3d(T, inv11, p1)  # (-inv(L22) L21) @ inv(L11)
 
-    # -- assemble (local placement: every piece is already on the full grid) --
-    out = np.zeros((n, n))
-    out[:h, :h] = inv11.to_global()
-    out[h:, h:] = inv22.to_global()
-    out[h:, :h] = inv21.to_global()
-    return DistMatrix.from_global(machine, grid, L.layout, out)
+    # -- assemble through charged embeds: the (h, h)/(h, 0) offsets move ------
+    # words between ranks whenever h % sp != 0, and the plan charges them
+    out = DistMatrix.zeros(machine, grid, L.layout, (n, n))
+    embed_submatrix(out, inv11, 0, 0, label="rectriinv.embed")
+    embed_submatrix(out, inv22, h, h, label="rectriinv.embed")
+    embed_submatrix(out, inv21, h, 0, label="rectriinv.embed")
+    return out
 
 
 def _invert_base_case(L: DistMatrix) -> DistMatrix:

@@ -25,10 +25,10 @@ Communication schedule (line numbers match the paper's pseudo-code):
   bound).
 
 The ``z`` index enumerates ``p2`` contiguous column slabs of ``X``
-(``z = x2 + sqrt(p2)*y2``).  Lines 3, 4 and 8 move data through a scratch
-assembly (numerically identical to the message routing, see DESIGN.md §2)
-while charging the paper's exact costs; lines 2, 5 and 7 use the real
-collectives.
+(``z = x2 + sqrt(p2)*y2``).  Lines 3, 4 and 8 charge the paper's exact
+costs while the slab pieces are routed directly from the owning blocks
+(:func:`repro.dist.routing.gather_frame` — no ``to_global()`` scratch
+assembly of all of ``X``); lines 2, 5 and 7 use the real collectives.
 """
 
 from __future__ import annotations
@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
+from repro.dist.routing import End, gather_frame
 from repro.machine.collectives import (
     _log2_ceil,
     allgather_blocks,
@@ -132,7 +133,6 @@ def mm3d(A: DistMatrix, X: DistMatrix, p1: int, scale: float = 1.0) -> DistMatri
         )
 
     # ---- line 5: allgather X'''[y1,z] over the x1 fibers ---------------------
-    Xg = X.to_global()  # scratch routing target for the transposed pieces
     col_slabs = split_indices(k, p2)
     X_rows = [np.arange(y1, n, p1) for y1 in range(p1)]
     X3: dict[tuple[int, int], np.ndarray] = {}
@@ -140,7 +140,12 @@ def mm3d(A: DistMatrix, X: DistMatrix, p1: int, scale: float = 1.0) -> DistMatri
         for z in range(p2):
             x2, y2 = z % sq, z // sq
             lo, hi = col_slabs[z]
-            slab = Xg[np.ix_(X_rows[y1], np.arange(lo, hi))]
+            # Route the slab pieces straight out of the owning blocks; the
+            # movement itself is charged by lines 3/4 above.
+            slab = gather_frame(
+                End(X.grid, X.layout, X.shape, rows=X_rows[y1], cols=np.arange(lo, hi)),
+                X.blocks,
+            )
             group = [r4(x1, x2, y1, y2) for x1 in range(p1)]
             # After the line-3/4 transposes, the x1-th member holds the
             # column-interleaved piece slab[:, x1::p1].

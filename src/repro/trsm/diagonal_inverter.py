@@ -9,9 +9,12 @@ and ``n/n0`` blocks each subgrid has ``q = p*n0/n`` processors (the paper's
 DESIGN.md §2 on grid substitutions).
 
 Data movement matches the paper's lines 6/9/16/17: the block pieces move
-from the owning 2D plane to the inversion subgrid and back, each transition
-charged at the all-to-all bound — never of leading order next to the
-inversion itself.
+from the owning 2D plane to the inversion subgrid and back.  Each direction
+is a **fused transition** (extract + redistribute down, redistribute + embed
+back) charged at the exact per-pair routing cost — never of leading order
+next to the inversion itself, and the embed back into the plane is charged
+whenever the ``(lo, lo)`` offset moves words between ranks (the old scratch
+assembly moved them silently for free).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
 from repro.dist.layout import CyclicLayout
-from repro.dist.redistribute import extract_submatrix, redistribute
+from repro.dist.redistribute import route_embed, route_submatrix
 from repro.dist.triangular import require_square
 from repro.inversion.rec_tri_inv import rec_tri_inv
 from repro.machine.topology import ProcessorGrid
@@ -69,11 +72,9 @@ def diagonal_inverter(
     side = inversion_subgrid_side(p_pool, n, n0)
     chunk = max(p_pool // nb, 1)
 
-    result = np.zeros((n, n))
+    result = DistMatrix.zeros(machine, L.grid, L.layout, (n, n))
     for b in range(nb):
         lo, hi = b * n0, (b + 1) * n0
-        # Lines 6 + 9: move the block from the plane to its subgrid.
-        block = extract_submatrix(L, lo, hi, lo, hi, label="diaginv.extract")
         ranks = pool[(b * chunk) % p_pool :][: side * side]
         if len(ranks) < side * side:  # wrap-around tail: reuse leading ranks
             ranks = (pool * 2)[(b * chunk) % p_pool :][: side * side]
@@ -81,12 +82,14 @@ def diagonal_inverter(
             np.asarray(ranks, dtype=np.int64).reshape(side, side)
         )
         sub_layout = CyclicLayout(side, side)
-        block_sub = redistribute(block, subgrid, sub_layout, label="diaginv.to_subgrid")
-        inv_sub = rec_tri_inv(block_sub, base_n=base_n)
-        # Lines 16 + 17: bring the inverted block back to the plane.
-        inv_plane = redistribute(
-            inv_sub, L.grid, CyclicLayout(*L.grid.shape), label="diaginv.from_subgrid"
+        # Lines 6 + 9: plane -> subgrid, extract + redistribute fused into
+        # one exact charge.
+        block_sub = route_submatrix(
+            L, lo, hi, lo, hi, subgrid, sub_layout, label="diaginv.to_subgrid"
         )
-        result[lo:hi, lo:hi] = inv_plane.to_global()
+        inv_sub = rec_tri_inv(block_sub, base_n=base_n)
+        # Lines 16 + 17: subgrid -> plane, redistribute + embed fused; the
+        # (lo, lo) offset is charged exactly when it moves words.
+        route_embed(inv_sub, result, lo, lo, label="diaginv.from_subgrid")
 
-    return DistMatrix.from_global(machine, L.grid, L.layout, result)
+    return result

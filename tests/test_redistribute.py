@@ -41,15 +41,18 @@ class TestRedistribute:
         assert m.time() == 0.0
         assert D2 is D
 
-    def test_charges_alltoall_bound(self):
+    def test_charges_exact_routing(self):
         m = Machine(8, params=UNIT)
         g1 = m.grid(2, 2)
         g2 = m.grid(2, 2)
         D = dist(m, g1, np.ones((4, 4)))
         redistribute(D, g2, CyclicLayout(2, 2))
         cp = m.critical_path()
-        assert cp.S == 3  # log2(8 ranks in the union)
-        assert cp.W == (4 / 2) * 3  # (words per rank / 2) * log
+        # same layout on a disjoint grid: every rank ships its whole block
+        # to exactly one partner — one message of 4 words, not the
+        # all-to-all bound the old implementation charged
+        assert cp.S == 1
+        assert cp.W == 4
 
     def test_layout_change_on_same_grid(self):
         m = Machine(4, params=UNIT)
