@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke selfcheck solve clean
+.PHONY: test test-fast bench-smoke lint selfcheck solve serve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
@@ -13,9 +13,15 @@ test-fast:
 		tests/test_redistribute.py tests/test_triangular_helpers.py \
 		tests/test_row_block.py tests/test_layout_equivalences.py
 
-## Tiny redistribution-routing sweep: fails fast on routing-cost regressions.
+## Tiny routing + serve sweeps: fails fast on routing-cost or scheduler
+## regressions (serve asserts packed makespan < serial full grid).
 bench-smoke:
-	BENCH_SMOKE=1 $(PYTHON) -m pytest -x -q benchmarks/bench_redistribute.py
+	BENCH_SMOKE=1 $(PYTHON) -m pytest -x -q benchmarks/bench_redistribute.py \
+		benchmarks/bench_serve.py
+
+## Ruff lint (CI runs this; requires ruff on PATH).
+lint:
+	ruff check src tests benchmarks
 
 ## Acceptance battery on the simulated machine.
 selfcheck:
@@ -24,6 +30,10 @@ selfcheck:
 ## A tuned simulated solve with cost report.
 solve:
 	$(PYTHON) -m repro solve
+
+## Replay a Poisson request stream through the Cluster scheduler.
+serve:
+	$(PYTHON) -m repro serve
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -3,6 +3,8 @@ IPDPS 2017), reproduced in Python on a simulated alpha-beta-gamma machine.
 
 Quickstart
 ----------
+One solve, one call (wraps a single-request Cluster):
+
 >>> import numpy as np
 >>> from repro import trsm, random_lower_triangular, random_dense
 >>> L = random_lower_triangular(256, seed=0)
@@ -11,15 +13,30 @@ Quickstart
 >>> bool(result.residual < 1e-12)
 True
 
+Many solves, one machine — the Cluster front-end packs a queue of typed
+requests onto disjoint subgrids (the paper's concurrent-subgrid pattern,
+generalized):
+
+>>> from repro import Cluster, TrsmRequest
+>>> cluster = Cluster(p=64)
+>>> rids = [cluster.submit(TrsmRequest(
+...     L=random_lower_triangular(128, seed=s),
+...     B=random_dense(128, 16, seed=50 + s))) for s in range(4)]
+>>> outcome = cluster.run()
+>>> bool(outcome.modeled_makespan < outcome.serial_seconds)
+True
+
 Package layout
 --------------
+``repro.api``       Cluster/Session front-end: typed requests, one machine
+``repro.sched``     subgrid allocator (quadrant pool) + request scheduler
 ``repro.machine``   simulated machine: grids, collectives, cost accounting
-``repro.dist``      distributed matrices and layouts
+``repro.dist``      distributed matrices, layouts, exact routing plans
 ``repro.mm``        Section III matrix multiplication
 ``repro.inversion`` Section V recursive triangular inversion
 ``repro.trsm``      Sections IV & VI TRSM algorithms + cost models
 ``repro.tuning``    Section VIII a-priori parameter selection
-``repro.analysis``  Section IX tables, Figure 1 regime map
+``repro.analysis``  Section IX tables, Figure 1 regime map, serve reports
 """
 
 from repro.machine import Cost, CostParams, HARDWARE_PRESETS, Machine, ProcessorGrid
@@ -63,6 +80,16 @@ from repro.trsm import (
 )
 from repro.trsm.variants import solve_lu, solve_triangular
 from repro.trsm.prepared import PreparedTrsm
+from repro.api import (
+    Cluster,
+    ClusterOutcome,
+    InvRequest,
+    MMRequest,
+    PreparedSolveRequest,
+    RequestRecord,
+    TrsmRequest,
+)
+from repro.sched import Schedule, Scheduler, SubgridAllocator
 from repro.factor import cholesky_cost, cholesky_factor
 from repro.tuning import (
     TrsmRegime,
@@ -78,9 +105,19 @@ from repro.util import (
     relative_residual,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Cluster",
+    "ClusterOutcome",
+    "RequestRecord",
+    "TrsmRequest",
+    "MMRequest",
+    "InvRequest",
+    "PreparedSolveRequest",
+    "SubgridAllocator",
+    "Scheduler",
+    "Schedule",
     "Cost",
     "CostParams",
     "HARDWARE_PRESETS",

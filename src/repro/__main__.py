@@ -3,6 +3,7 @@
 Commands
 --------
 ``solve``     run a tuned simulated solve on random operands and report costs
+``serve``     replay a Poisson request stream through the Cluster scheduler
 ``tune``      print the a-priori parameters (closed form + model search)
 ``map``       print the Figure 1 regime map
 ``table``     print the Section IX conclusion table for a p-sweep
@@ -39,6 +40,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         params=params,
         tune=args.tune,
+        verify=not args.no_verify,
     )
     print(f"algorithm : {res.algorithm}")
     if res.choice is not None:
@@ -47,12 +49,37 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"parameters: regime={c.regime.value} p1={c.p1} p2={c.p2} "
             f"n0={c.n0} (r1={c.r1:.2f}, r2={c.r2:.2f})"
         )
-    print(f"residual  : {res.residual:.3e}")
+    residual = "skipped" if res.residual is None else f"{res.residual:.3e}"
+    print(f"residual  : {residual}")
     m = res.measured
     print(f"measured  : S={m.S:.0f}  W={m.W:.0f}  F={m.F:.0f}")
     print(f"time      : {res.time * 1e3:.4f} ms  (machine '{args.machine}')")
     for name, cost in sorted(res.phase_costs().items()):
         print(f"  phase {name:10s}: S={cost.S:8.0f} W={cost.W:12.0f} F={cost.F:12.0f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import HARDWARE_PRESETS
+    from repro.api.serve import poisson_stream, replay
+    from repro.analysis.serve import serve_report
+
+    params = HARDWARE_PRESETS[args.machine]
+    requests_spec = poisson_stream(
+        count=args.requests,
+        rate=args.rate,
+        n_range=(args.n_min, args.n_max),
+        k_range=(args.k_min, args.k_max),
+        seed=args.seed,
+    )
+    outcome = replay(
+        requests_spec,
+        p=args.p,
+        params=params,
+        resident=not args.no_resident,
+        verify=not args.no_verify,
+    )
+    print(serve_report(outcome))
     return 0
 
 
@@ -147,7 +174,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument("--machine", default="default")
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the residual check (prints 'skipped')",
+    )
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a Poisson TRSM request stream through the Cluster"
+    )
+    p_serve.add_argument("-p", type=int, default=64, help="processors (power of two)")
+    p_serve.add_argument("--requests", type=int, default=8, help="stream length")
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="Poisson arrival rate in requests/s (0 = all arrive at t=0)",
+    )
+    p_serve.add_argument("--n-min", type=int, default=64)
+    p_serve.add_argument("--n-max", type=int, default=256)
+    p_serve.add_argument("--k-min", type=int, default=8)
+    p_serve.add_argument("--k-max", type=int, default=64)
+    p_serve.add_argument("--machine", default="default")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--no-resident",
+        action="store_true",
+        help="pass operands as globals (skip data-plane hosting + migration)",
+    )
+    p_serve.add_argument("--no-verify", action="store_true")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_tune = sub.add_parser("tune", help="a-priori parameter advice")
     _add_nkp(p_tune)

@@ -6,6 +6,8 @@
   per-line / per-part cost tables, from both models and simulation;
 * :mod:`repro.analysis.regime_map` — Figure 1 as a (n/k, p) grid of regime
   labels;
+* :mod:`repro.analysis.serve` — throughput/occupancy reports for Cluster
+  serve runs (request placements, makespan vs the serial baseline);
 * :mod:`repro.analysis.report` — plain-text / CSV rendering.
 """
 
@@ -21,8 +23,12 @@ from repro.analysis.tables import (
     mm_line_table,
 )
 from repro.analysis.report import format_table
+from repro.analysis.serve import occupancy_table, serve_report, throughput_report
 
 __all__ = [
+    "occupancy_table",
+    "serve_report",
+    "throughput_report",
     "fit_power_law",
     "improvement_factors",
     "latency_ratio_prediction",

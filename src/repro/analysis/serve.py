@@ -1,0 +1,74 @@
+"""Throughput and occupancy reporting for Cluster serve runs.
+
+Renders a :class:`~repro.api.cluster.ClusterOutcome` — the result of
+packing a request queue onto the subgrid pool — as plain-text artifacts:
+
+* :func:`occupancy_table` — one row per request: placement (subgrid size,
+  modeled start/finish), migration charge, modeled vs measured cost;
+* :func:`throughput_report` — the aggregate view: modeled and measured
+  makespan, the serial full-grid baseline the scheduler is judged
+  against, pool occupancy and request throughput.
+
+The functions are duck-typed over the outcome object (no import of
+:mod:`repro.api`), so they also render hand-built schedules in tests.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+
+
+def occupancy_table(outcome) -> str:
+    """Per-request placement/cost table for a serve run."""
+    rows = []
+    for r in outcome.records:
+        rows.append(
+            [
+                r.rid,
+                r.kind,
+                r.size,
+                f"{r.modeled_start * 1e6:.1f}",
+                f"{r.modeled_finish * 1e6:.1f}",
+                f"{r.staging_seconds * 1e6:.2f}",
+                float(r.modeled.S),
+                float(r.modeled.W),
+                float(r.measured.S),
+                float(r.measured.W),
+            ]
+        )
+    return format_table(
+        [
+            "rid",
+            "kind",
+            "ranks",
+            "start us",
+            "finish us",
+            "stage us",
+            "S model",
+            "W model",
+            "S meas",
+            "W meas",
+        ],
+        rows,
+        title=f"Request placements (p={outcome.p}, machine {outcome.params.name!r})",
+    )
+
+
+def throughput_report(outcome) -> str:
+    """Aggregate makespan/occupancy/throughput summary for a serve run."""
+    lines = [
+        f"requests          : {len(outcome.records)}",
+        f"pool              : {outcome.p} ranks",
+        f"modeled makespan  : {outcome.modeled_makespan * 1e6:.2f} us",
+        f"measured makespan : {outcome.measured_makespan * 1e6:.2f} us",
+        f"serial full-grid  : {outcome.serial_seconds * 1e6:.2f} us",
+        f"speedup vs serial : {outcome.speedup_vs_serial():.2f}x",
+        f"pool occupancy    : {outcome.occupancy * 100.0:.1f} %",
+        f"throughput        : {outcome.throughput() / 1e3:.1f} krequests/s",
+    ]
+    return "\n".join(lines)
+
+
+def serve_report(outcome) -> str:
+    """The full artifact: occupancy table plus the aggregate summary."""
+    return occupancy_table(outcome) + "\n\n" + throughput_report(outcome)

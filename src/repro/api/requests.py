@@ -1,0 +1,555 @@
+"""Typed request objects: the units the Cluster schedules.
+
+A request is a declarative description of one unit of work — operands,
+algorithm knobs, an optional arrival time — plus the three hooks the
+:mod:`repro.sched` scheduler prices placements with (``candidate_sizes``,
+``modeled_cost``, ``staging_cost``) and the ``execute`` hook the Cluster
+replays the chosen placement with on the real simulated machine.
+
+Operands are either global ``ndarray``\\ s (placed on the assigned subgrid
+for free, the paper's Require-clause convention) or *cluster-resident*
+:class:`~repro.dist.distmatrix.DistMatrix` handles from
+:meth:`~repro.api.cluster.Cluster.host` — those are staged onto the
+subgrid through :func:`repro.dist.redistribute.stage_matrix`, charged at
+the exact per-pair routing cost, and the same
+:func:`~repro.dist.redistribute.staging_plan` prices the migration for the
+scheduler before the placement is committed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layout import CyclicLayout
+from repro.dist.redistribute import stage_matrix, staging_plan
+from repro.machine.cost import Cost, CostParams
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import ParameterError, ShapeError, require
+from repro.tuning.parameters import TuningChoice, tuned_parameters
+from repro.util.checking import relative_residual
+
+
+def _pow2_sizes(capacity: int) -> list[int]:
+    sizes = []
+    q = capacity
+    while q >= 1:
+        sizes.append(q)
+        q //= 2
+    return sizes
+
+
+def _square_sizes(capacity: int) -> list[int]:
+    return [q for q in _pow2_sizes(capacity) if math.isqrt(q) ** 2 == q]
+
+
+def _shape_of(M) -> tuple[int, int]:
+    if isinstance(M, DistMatrix):
+        return M.shape
+    A = np.asarray(M)
+    return (A.shape[0], A.shape[1] if A.ndim == 2 else 1)
+
+
+@dataclass
+class Execution:
+    """What one request execution produced (see ``RequestRecord``)."""
+
+    value: object
+    algorithm: str
+    residual: float | None = None
+    choice: TuningChoice | None = None
+
+
+@dataclass(kw_only=True, eq=False)
+class Request:
+    """Base request: arrival time and an optional placement restriction.
+
+    ``sizes`` pins the candidate subgrid sizes (e.g. ``(p,)`` forces the
+    full machine — how the deprecated one-call wrappers reproduce the
+    pre-Cluster behavior bit for bit).
+    """
+
+    arrival: float = 0.0
+    sizes: tuple[int, ...] | None = None
+    kind: str = field(default="request", init=False)
+
+    def candidate_sizes(self, capacity: int) -> list[int]:
+        base = self._natural_sizes(capacity)
+        if self.sizes is None:
+            return base
+        pinned = [int(s) for s in self.sizes if int(s) in base]
+        require(
+            bool(pinned),
+            ParameterError,
+            f"none of the pinned sizes {self.sizes} is valid for this "
+            f"request on a {capacity}-rank pool (valid: {base})",
+        )
+        return pinned
+
+    def _natural_sizes(self, capacity: int) -> list[int]:
+        return _pow2_sizes(capacity)
+
+    def modeled_cost(self, size: int, params: CostParams) -> Cost:
+        raise NotImplementedError
+
+    def staging_cost(self, grid: ProcessorGrid, params: CostParams) -> Cost:
+        """Exact migration cost of this request's resident operands."""
+        total = Cost.zero()
+        for D, target_grid, layout in self._staging_targets(grid, params):
+            total = total + staging_plan(D, target_grid, layout).cost()
+        return total
+
+    def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
+        """Yield ``(resident_matrix, target_grid, target_layout)`` triples."""
+        return ()
+
+    def execute(self, cluster, grid: ProcessorGrid) -> Execution:
+        raise NotImplementedError
+
+
+def _place(
+    cluster,
+    operand,
+    grid: ProcessorGrid,
+    layout,
+    shape: tuple[int, int],
+    label: str,
+):
+    """Resident operands migrate (exact charge); globals place for free."""
+    if isinstance(operand, DistMatrix):
+        require(
+            operand.machine is cluster.machine,
+            ParameterError,
+            "resident operand belongs to a different cluster's machine",
+        )
+        with cluster.machine.phase("staging"):
+            return stage_matrix(operand, grid, layout, label=label)
+    A = np.asarray(operand, dtype=np.float64).reshape(shape)
+    return DistMatrix.from_global(cluster.machine, grid, layout, A)
+
+
+def _as_global(operand) -> np.ndarray:
+    return operand.to_global() if isinstance(operand, DistMatrix) else np.asarray(
+        operand, dtype=np.float64
+    )
+
+
+@dataclass(kw_only=True, eq=False)
+class TrsmRequest(Request):
+    """Solve ``L X = B`` (It-Inv-TRSM or the recursive baseline)."""
+
+    L: object
+    B: object
+    algorithm: str = "auto"
+    tune: str = "closed_form"
+    n0: int | None = None
+    verify: bool = True
+    base_n: int = 8
+
+    def __post_init__(self) -> None:
+        self.kind = "trsm"
+        require(
+            self.algorithm in ("auto", "iterative", "recursive"),
+            ParameterError,
+            f"unknown algorithm {self.algorithm!r}",
+        )
+        require(
+            self.tune in ("closed_form", "search"),
+            ParameterError,
+            f"unknown tune mode {self.tune!r}",
+        )
+        n, n2 = _shape_of(self.L)
+        require(n == n2, ShapeError, "L must be square")
+        self.n = n
+        self.k = _shape_of(self.B)[1]
+        require(
+            self.n0 is None or (self.n0 >= 1 and n % self.n0 == 0),
+            ParameterError,
+            f"n0={self.n0} must divide n={n}",
+        )
+        self._choices: dict[tuple[int, CostParams], TuningChoice] = {}
+
+    # -- scheduling hooks ---------------------------------------------------
+
+    def _algorithm_for(self, size: int) -> str:
+        if self.algorithm != "auto":
+            return self.algorithm
+        return "iterative" if size > 1 else "recursive"
+
+    def choice_for(self, size: int, params: CostParams) -> TuningChoice:
+        """The (cached) tuning choice scoped to a ``size``-rank subgrid."""
+        key = (size, params)
+        got = self._choices.get(key)
+        if got is None:
+            if self.tune == "search":
+                from repro.tuning.optimizer import optimize_parameters
+
+                got = optimize_parameters(self.n, self.k, size, params=params)
+            else:
+                got = tuned_parameters(self.n, self.k, size)
+            if self.n0 is not None:
+                got = TuningChoice(
+                    regime=got.regime,
+                    p1=got.p1,
+                    p2=got.p2,
+                    n0=self.n0,
+                    r1=got.r1,
+                    r2=got.r2,
+                )
+            self._choices[key] = got
+        return got
+
+    def modeled_cost(self, size: int, params: CostParams) -> Cost:
+        from repro.trsm.cost_model import iterative_cost, recursive_cost
+
+        if self._algorithm_for(size) == "recursive":
+            return recursive_cost(self.n, self.k, size)
+        c = self.choice_for(size, params)
+        return iterative_cost(self.n, self.k, c.n0, c.p1, c.p2)
+
+    def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
+        from repro.trsm.iterative import _RowCyclicColBlocked
+        from repro.trsm.recursive import choose_recursive_grid
+
+        if self._algorithm_for(grid.size) == "recursive":
+            pr, pc = choose_recursive_grid(self.n, self.k, grid.size)
+            grid2d = grid.reshape((pr, pc))
+            layout = CyclicLayout(pr, pc)
+            for M in (self.L, self.B):
+                if isinstance(M, DistMatrix):
+                    yield M, grid2d, layout
+            return
+        c = self.choice_for(grid.size, params)
+        grid3d = grid.reshape((c.p1, c.p1, c.p2))
+        if isinstance(self.L, DistMatrix):
+            yield self.L, grid3d.plane(2, 0), CyclicLayout(c.p1, c.p1)
+        if isinstance(self.B, DistMatrix):
+            yield self.B, grid3d.plane(1, 0), _RowCyclicColBlocked(c.p1, c.p2)
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, cluster, grid: ProcessorGrid) -> Execution:
+        from repro.trsm.iterative import _RowCyclicColBlocked, it_inv_trsm
+        from repro.trsm.recursive import choose_recursive_grid, rec_trsm
+
+        machine = cluster.machine
+        n, k = self.n, self.k
+        algorithm = self._algorithm_for(grid.size)
+
+        if algorithm == "recursive":
+            pr, pc = choose_recursive_grid(n, k, grid.size)
+            grid2d = grid.reshape((pr, pc))
+            layout = CyclicLayout(pr, pc)
+            Ld = _place(cluster, self.L, grid2d, layout, (n, n), "cluster.stage_L")
+            Bd = _place(cluster, self.B, grid2d, layout, (n, k), "cluster.stage_B")
+            X = rec_trsm(Ld, Bd).to_global()
+            choice = None
+        else:
+            choice = self.choice_for(grid.size, cluster.params)
+            grid3d = grid.reshape((choice.p1, choice.p1, choice.p2))
+            Ld = _place(
+                cluster,
+                self.L,
+                grid3d.plane(2, 0),
+                CyclicLayout(choice.p1, choice.p1),
+                (n, n),
+                "cluster.stage_L",
+            )
+            Bd = _place(
+                cluster,
+                self.B,
+                grid3d.plane(1, 0),
+                _RowCyclicColBlocked(choice.p1, choice.p2),
+                (n, k),
+                "cluster.stage_B",
+            )
+            X = it_inv_trsm(
+                machine, grid3d, Ld, Bd, n0=choice.n0, base_n=self.base_n
+            ).to_global()
+
+        residual = None
+        if self.verify:
+            residual = relative_residual(
+                _as_global(self.L), X, _as_global(self.B).reshape(n, k)
+            )
+        return Execution(value=X, algorithm=algorithm, residual=residual, choice=choice)
+
+
+@dataclass(kw_only=True, eq=False)
+class MMRequest(Request):
+    """Multiply ``B = scale * A @ X`` with the Section III MM."""
+
+    A: object
+    X: object
+    scale: float = 1.0
+    p1: int | None = None
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "mm"
+        self.m, self.n = _shape_of(self.A)
+        n2, self.k = _shape_of(self.X)
+        require(
+            self.n == n2,
+            ShapeError,
+            f"inner dimensions disagree: A is {_shape_of(self.A)}, "
+            f"X is {_shape_of(self.X)}",
+        )
+
+    def _natural_sizes(self, capacity: int) -> list[int]:
+        # mm3d runs on a square grid: even powers of two only.
+        return _square_sizes(capacity)
+
+    def _split(self, size: int, params: CostParams) -> tuple[int, int]:
+        from repro.mm.dispatch import choose_mm_split
+
+        if self.p1 is not None:
+            sp = math.isqrt(size)
+            require(
+                self.p1 >= 1 and sp % self.p1 == 0,
+                ParameterError,
+                f"p1={self.p1} must divide the grid side {sp}",
+            )
+            return self.p1, (sp // self.p1) ** 2
+        return choose_mm_split(self.n, self.k, size, params=params, m=self.m)
+
+    def modeled_cost(self, size: int, params: CostParams) -> Cost:
+        from repro.mm.cost_model import mm3d_cost
+
+        p1, p2 = self._split(size, params)
+        return mm3d_cost(self.n, self.k, p1, p2, m=self.m)
+
+    def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
+        sp = math.isqrt(grid.size)
+        grid2d = grid.reshape((sp, sp))
+        layout = CyclicLayout(sp, sp)
+        for M in (self.A, self.X):
+            if isinstance(M, DistMatrix):
+                yield M, grid2d, layout
+
+    def execute(self, cluster, grid: ProcessorGrid) -> Execution:
+        from repro.mm.mm3d import mm3d
+
+        sp = math.isqrt(grid.size)
+        grid2d = grid.reshape((sp, sp))
+        layout = CyclicLayout(sp, sp)
+        Ad = _place(cluster, self.A, grid2d, layout, (self.m, self.n), "cluster.stage_A")
+        Xd = _place(cluster, self.X, grid2d, layout, (self.n, self.k), "cluster.stage_X")
+        p1, _ = self._split(grid.size, cluster.params)
+        B = mm3d(Ad, Xd, p1, scale=self.scale).to_global()
+        residual = None
+        if self.verify:
+            residual = relative_residual(
+                self.scale * _as_global(self.A), _as_global(self.X), B
+            )
+        return Execution(value=B, algorithm=f"mm3d(p1={p1})", residual=residual)
+
+
+@dataclass(kw_only=True, eq=False)
+class InvRequest(Request):
+    """Invert a lower-triangular matrix — fully, or its ``n0`` diagonal
+    blocks only (the Diagonal-Inverter / selective-inversion preparation)."""
+
+    L: object
+    n0: int | None = None
+    k_hint: int = 1
+    base_n: int = 8
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = "inv" if self.n0 is None else "diag_inv"
+        n, n2 = _shape_of(self.L)
+        require(n == n2, ShapeError, "L must be square")
+        self.n = n
+        require(
+            self.n0 is None or (self.n0 >= 1 and n % self.n0 == 0),
+            ParameterError,
+            f"n0={self.n0} must divide n={n}",
+        )
+
+    def _natural_sizes(self, capacity: int) -> list[int]:
+        if self.n0 is None:
+            # rec_tri_inv runs on a square grid.
+            return _square_sizes(capacity)
+        return _pow2_sizes(capacity)
+
+    def choice_for(self, size: int) -> TuningChoice:
+        """Diagonal-inverter grid choice scoped to the subgrid (paper VIII)."""
+        choice = tuned_parameters(self.n, max(self.k_hint, 1), size)
+        if self.n0 is not None and self.n0 != choice.n0:
+            choice = TuningChoice(
+                regime=choice.regime,
+                p1=choice.p1,
+                p2=choice.p2,
+                n0=self.n0,
+                r1=choice.r1,
+                r2=choice.r2,
+            )
+        return choice
+
+    def modeled_cost(self, size: int, params: CostParams) -> Cost:
+        if self.n0 is None:
+            from repro.inversion.cost_model import rec_tri_inv_cost
+
+            sp = math.isqrt(size)
+            return rec_tri_inv_cost(self.n, sp, 1)
+        from repro.trsm.cost_model import iterative_parts
+
+        c = self.choice_for(size)
+        return iterative_parts(self.n, max(self.k_hint, 1), c.n0, c.p1, c.p2).inversion
+
+    def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
+        if not isinstance(self.L, DistMatrix):
+            return
+        if self.n0 is None:
+            sp = math.isqrt(grid.size)
+            yield self.L, grid.reshape((sp, sp)), CyclicLayout(sp, sp)
+        else:
+            c = self.choice_for(grid.size)
+            grid3d = grid.reshape((c.p1, c.p1, c.p2))
+            yield self.L, grid3d.plane(2, 0), CyclicLayout(c.p1, c.p1)
+
+    def execute(self, cluster, grid: ProcessorGrid) -> Execution:
+        machine = cluster.machine
+        n = self.n
+        if self.n0 is None:
+            from repro.inversion.rec_tri_inv import rec_tri_inv
+
+            sp = math.isqrt(grid.size)
+            grid2d = grid.reshape((sp, sp))
+            layout = CyclicLayout(sp, sp)
+            Ld = _place(cluster, self.L, grid2d, layout, (n, n), "cluster.stage_L")
+            Linv = rec_tri_inv(Ld, base_n=self.base_n).to_global()
+            residual = None
+            if self.verify:
+                residual = float(
+                    np.linalg.norm(_as_global(self.L) @ Linv - np.eye(n))
+                    / math.sqrt(n)
+                )
+            return Execution(value=Linv, algorithm="rec_tri_inv", residual=residual)
+
+        from repro.trsm.diagonal_inverter import diagonal_inverter
+
+        choice = self.choice_for(grid.size)
+        grid3d = grid.reshape((choice.p1, choice.p1, choice.p2))
+        Ld = _place(
+            cluster,
+            self.L,
+            grid3d.plane(2, 0),
+            CyclicLayout(choice.p1, choice.p1),
+            (n, n),
+            "cluster.stage_L",
+        )
+        with machine.phase("inversion"):
+            Ltilde = diagonal_inverter(
+                Ld, choice.n0, pool=grid3d.ranks(), base_n=self.base_n
+            ).to_global()
+        return Execution(value=Ltilde, algorithm="diagonal_inverter", choice=choice)
+
+
+@dataclass(kw_only=True, eq=False)
+class PreparedSolveRequest(Request):
+    """Apply a :class:`~repro.trsm.prepared.PreparedTrsm`'s inverse to a new
+    right-hand-side batch: solve + update phases only (Section II-C3)."""
+
+    prepared: object
+    B: object
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        self.kind = "prepared_solve"
+        self.n = int(self.prepared.n)
+        k = _shape_of(self.B)[1]
+        require(
+            _shape_of(self.B)[0] == self.n,
+            ShapeError,
+            f"B has {_shape_of(self.B)[0]} rows, L is {self.n} x {self.n}",
+        )
+        self.k = k
+
+    def choice_for(self, size: int) -> TuningChoice:
+        """The prepared choice on its native size; re-tuned (same ``n0`` —
+        the block inverses are for that size) on any other subgrid."""
+        prepared = self.prepared
+        if size == prepared.p:
+            return prepared.choice
+        choice = tuned_parameters(self.n, max(self.k, 1), size)
+        if choice.n0 != prepared.choice.n0:
+            choice = TuningChoice(
+                regime=choice.regime,
+                p1=choice.p1,
+                p2=choice.p2,
+                n0=prepared.choice.n0,
+                r1=choice.r1,
+                r2=choice.r2,
+            )
+        return choice
+
+    def modeled_cost(self, size: int, params: CostParams) -> Cost:
+        from repro.trsm.cost_model import iterative_parts
+
+        c = self.choice_for(size)
+        parts = iterative_parts(self.n, self.k, c.n0, c.p1, c.p2)
+        return parts.solve + parts.update
+
+    def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
+        from repro.trsm.iterative import _RowCyclicColBlocked
+
+        if isinstance(self.B, DistMatrix):
+            c = self.choice_for(grid.size)
+            grid3d = grid.reshape((c.p1, c.p1, c.p2))
+            yield self.B, grid3d.plane(1, 0), _RowCyclicColBlocked(c.p1, c.p2)
+
+    def execute(self, cluster, grid: ProcessorGrid) -> Execution:
+        from repro.trsm.iterative import _RowCyclicColBlocked, it_inv_trsm
+
+        machine = cluster.machine
+        prepared = self.prepared
+        n, k = self.n, self.k
+        choice = self.choice_for(grid.size)
+        grid3d = grid.reshape((choice.p1, choice.p1, choice.p2))
+        plane_L = grid3d.plane(2, 0)
+        lay_L = CyclicLayout(choice.p1, choice.p1)
+        # The factor and its prepared inverse are the solver's own state,
+        # not live cluster data: placement is free, exactly as before.
+        Ld = DistMatrix.from_global(machine, plane_L, lay_L, prepared.L)
+        Ltilde = DistMatrix.from_global(
+            machine, plane_L, lay_L, prepared._Ltilde_global
+        )
+        Bd = _place(
+            cluster,
+            self.B,
+            grid3d.plane(1, 0),
+            _RowCyclicColBlocked(choice.p1, choice.p2),
+            (n, k),
+            "cluster.stage_B",
+        )
+        X = it_inv_trsm(
+            machine, grid3d, Ld, Bd, n0=choice.n0, base_n=prepared.base_n,
+            Ltilde=Ltilde,
+        ).to_global()
+        residual = None
+        if self.verify:
+            B2 = _as_global(self.B).reshape(n, k)
+            residual = relative_residual(prepared.L, X, B2)
+            require(
+                bool(residual < 1e-8) or not np.all(np.isfinite(B2)),
+                ShapeError,
+                f"prepared solve verification failed (residual {residual:.3e})",
+            )
+        return Execution(
+            value=X, algorithm="it_inv_trsm(prepared)", residual=residual, choice=choice
+        )
+
+
+def validate_request(req: object) -> Request:
+    """Typed-submission guard for :meth:`Cluster.submit`."""
+    require(
+        isinstance(req, Request),
+        ParameterError,
+        f"submit() takes a Request (TrsmRequest, MMRequest, InvRequest, "
+        f"PreparedSolveRequest), got {type(req).__name__}",
+    )
+    return req

@@ -1,0 +1,101 @@
+"""Synthetic request streams: the serve-traffic workload generator.
+
+Shared by ``python -m repro serve`` and ``benchmarks/bench_serve.py``: a
+seeded Poisson arrival process over mixed-size TRSM problems, replayed
+through a :class:`~repro.api.cluster.Cluster`.  With ``resident=True``
+(the default) the operands are hosted on the cluster's data plane first,
+so every placement pays — and the scheduler prices — the exact
+:mod:`repro.dist.routing` migration onto the assigned subgrid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.cluster import Cluster, ClusterOutcome
+from repro.api.requests import TrsmRequest
+from repro.machine.cost import CostParams
+from repro.machine.validate import ParameterError, require
+from repro.util.randmat import random_dense, random_lower_triangular
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One synthetic solve in the stream: shape plus arrival time."""
+
+    n: int
+    k: int
+    arrival: float
+    seed: int
+
+
+def _pow2_choices(lo: int, hi: int) -> list[int]:
+    out = []
+    v = 1
+    while v <= hi:
+        if v >= lo:
+            out.append(v)
+        v *= 2
+    require(bool(out), ParameterError, f"no power of two in [{lo}, {hi}]")
+    return out
+
+
+def poisson_stream(
+    count: int,
+    rate: float = 0.0,
+    n_range: tuple[int, int] = (64, 256),
+    k_range: tuple[int, int] = (8, 64),
+    seed: int = 0,
+) -> list[StreamRequest]:
+    """A seeded stream of ``count`` mixed (n, k) solve requests.
+
+    Arrivals are a Poisson process with ``rate`` requests per simulated
+    second (``rate = 0`` puts the whole queue at ``t = 0`` — the burst
+    workload the makespan comparison uses).  ``n`` and ``k`` are drawn
+    uniformly from the powers of two inside their ranges, so every tuned
+    block size divides ``n``.
+    """
+    require(count >= 1, ParameterError, "need at least one request")
+    rng = np.random.default_rng(seed)
+    ns = _pow2_choices(*n_range)
+    ks = _pow2_choices(*k_range)
+    arrivals = (
+        np.cumsum(rng.exponential(1.0 / rate, size=count))
+        if rate > 0.0
+        else np.zeros(count)
+    )
+    return [
+        StreamRequest(
+            n=int(rng.choice(ns)),
+            k=int(rng.choice(ks)),
+            arrival=float(arrivals[i]),
+            seed=seed + 17 * i,
+        )
+        for i in range(count)
+    ]
+
+
+def replay(
+    stream: list[StreamRequest],
+    p: int,
+    params: CostParams | None = None,
+    resident: bool = True,
+    verify: bool = True,
+) -> ClusterOutcome:
+    """Submit a stream to a fresh Cluster and run it to completion.
+
+    ``resident=True`` hosts every operand on the data plane first, so each
+    placement is charged the exact migration plan; ``resident=False``
+    passes globals (free Require-clause placement) — useful to isolate the
+    scheduling gain from the migration cost.
+    """
+    cluster = Cluster(p, params=params)
+    for s in stream:
+        L = random_lower_triangular(s.n, seed=s.seed)
+        B = random_dense(s.n, s.k, seed=s.seed + 1)
+        if resident:
+            L, B = cluster.host(L), cluster.host(B)
+        cluster.submit(TrsmRequest(L=L, B=B, verify=verify, arrival=s.arrival))
+    return cluster.run()

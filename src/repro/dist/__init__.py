@@ -14,8 +14,9 @@ The data-distribution substrate every algorithm layer builds on:
 * :mod:`repro.dist.redistribute` — charged transitions between grids,
   layouts and submatrix windows (:func:`redistribute`,
   :func:`change_layout`, :func:`transpose_matrix`,
-  :func:`extract_submatrix`, :func:`embed_submatrix`) plus the fused
-  chains (:func:`route_submatrix`, :func:`route_embed`);
+  :func:`extract_submatrix`, :func:`embed_submatrix`), the fused
+  chains (:func:`route_submatrix`, :func:`route_embed`), and the
+  cluster staging helpers (:func:`staging_plan`, :func:`stage_matrix`);
 * :mod:`repro.dist.triangular` — triangular-structure validation and word
   counts shared by the solvers and factorizations.
 """
@@ -35,6 +36,8 @@ from repro.dist.redistribute import (
     redistribute,
     route_embed,
     route_submatrix,
+    stage_matrix,
+    staging_plan,
     transpose_matrix,
 )
 from repro.dist.routing import (
@@ -43,6 +46,7 @@ from repro.dist.routing import (
     TransitionPlan,
     fuse_transitions,
     gather_frame,
+    scatter_frame,
 )
 from repro.dist.triangular import (
     block_diagonal_words,
@@ -68,11 +72,14 @@ __all__ = [
     "embed_submatrix",
     "route_submatrix",
     "route_embed",
+    "staging_plan",
+    "stage_matrix",
     "End",
     "RoutingPlan",
     "TransitionPlan",
     "fuse_transitions",
     "gather_frame",
+    "scatter_frame",
     "is_lower_triangular",
     "require_square",
     "require_lower_triangular",

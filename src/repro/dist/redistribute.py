@@ -251,3 +251,44 @@ def route_embed(
     chain.charge(target.machine, label)
     chain.apply(sub.blocks, out=target.blocks)
     return target
+
+
+# ---------------------------------------------------------------------------
+# staging helpers (the Cluster/scheduler entry points)
+# ---------------------------------------------------------------------------
+
+
+def staging_plan(D: DistMatrix, grid, layout: Layout) -> RoutingPlan:
+    """The exact migration plan for moving ``D`` onto ``grid``/``layout``.
+
+    Pure pricing — nothing is charged or moved.  The ``repro.sched``
+    scheduler calls this before committing a request to a subgrid, so the
+    modeled makespan includes the true per-pair migration cost of staging
+    cluster-resident operands (no all-to-all bound anywhere).
+    """
+    return RoutingPlan(End.of(D), End(grid, layout, D.shape), D.shape)
+
+
+def stage_matrix(
+    D: DistMatrix,
+    grid,
+    layout: Layout,
+    label: str = "stage",
+    pointwise: bool = True,
+) -> DistMatrix:
+    """Migrate ``D`` onto a (sub)grid at the exact routing charge.
+
+    The Cluster's operand-staging primitive: the fused plan routes blocks
+    rank-to-rank, and by default the charge is *pointwise*
+    (:meth:`RoutingPlan.charge_pointwise`) — each sender/receiver pays its
+    own traffic with no group barrier, so staging one request does not
+    serialize solves running concurrently on disjoint subgrids.  Pass
+    ``pointwise=False`` for the synchronized semantics of
+    :func:`redistribute`.
+    """
+    plan = staging_plan(D, grid, layout)
+    if pointwise:
+        plan.charge_pointwise(D.machine, label=label)
+    else:
+        plan.charge(D.machine, label=label)
+    return DistMatrix(D.machine, grid, layout, D.shape, plan.apply(D.blocks))

@@ -286,6 +286,42 @@ class RoutingPlan:
             machine.charge(self.ranks(), cost, label=label)
         return cost
 
+    def charge_pointwise(self, machine, label: str = "route") -> Cost:
+        """Charge each involved rank its own exact traffic, without a barrier.
+
+        ``charge`` synchronizes the union of both grids, which is right for
+        a collective transition inside one algorithm but wrong for operand
+        *staging* in a multi-tenant cluster: routing a matrix from the full
+        data plane onto one subgrid must not serialize the solves already
+        running on the other subgrids.  Here every rank that actually sends
+        or receives is charged ``S`` = its partner count and ``W`` =
+        ``max(words sent, words received)`` locally (no group sync); ranks
+        that move nothing are untouched.  The receivers' clocks carry the
+        staging time forward, so the subgrid's first collective naturally
+        starts after its operands arrive.  Returns the plan's aggregate
+        critical-path cost (what :meth:`cost` reports).
+        """
+        sent: dict[int, float] = {}
+        recv: dict[int, float] = {}
+        s_pairs: dict[int, int] = {}
+        r_pairs: dict[int, int] = {}
+        for sr, dr, words in self.pairs():
+            sent[sr] = sent.get(sr, 0.0) + words
+            recv[dr] = recv.get(dr, 0.0) + words
+            s_pairs[sr] = s_pairs.get(sr, 0) + 1
+            r_pairs[dr] = r_pairs.get(dr, 0) + 1
+        costs = {
+            r: Cost(
+                S=float(max(s_pairs.get(r, 0), r_pairs.get(r, 0))),
+                W=float(max(sent.get(r, 0.0), recv.get(r, 0.0))),
+                F=0.0,
+            )
+            for r in set(sent) | set(recv)
+        }
+        if costs:
+            machine.charge_local(costs, label=label)
+        return self.cost()
+
     def alltoall_bound(self, collective_model=None) -> Cost:
         """The old uniform bound this plan replaces (for comparison/tests):
         an all-to-all over the union at the larger per-rank footprint."""
@@ -421,4 +457,27 @@ def gather_frame(end: End, blocks: Blocks, shape: tuple[int, int] | None = None)
         for b, cidx in col_sel:
             view = end.local_view(blocks, int(a), int(b))
             out[np.ix_(ridx, cidx)] = view[np.ix_(rp[ridx], cp[cidx])]
+    return out
+
+
+def scatter_frame(
+    end: End, frame: np.ndarray, out: dict[int, np.ndarray]
+) -> dict[int, np.ndarray]:
+    """Inverse of :func:`gather_frame`: write a dense frame into an end's blocks.
+
+    Only the frame's elements are written, so hot paths that produce one
+    slab of a distributed result (MM line 7) scatter it straight into the
+    destination blocks instead of assembling a global scratch matrix first.
+    Cost-free plumbing, exactly like ``gather_frame`` — the movement is the
+    caller's charge.  Returns ``out``.
+    """
+    frame = np.asarray(frame)
+    fm, fn = end.frame_shape(frame.shape)
+    ro, rp, co, cp = end.frame_maps((fm, fn))
+    col_sel = [(b, np.nonzero(co == b)[0]) for b in np.unique(co)]
+    for a in np.unique(ro):
+        ridx = np.nonzero(ro == a)[0]
+        for b, cidx in col_sel:
+            view = end.local_view(out, int(a), int(b))
+            view[np.ix_(rp[ridx], cp[cidx])] = frame[np.ix_(ridx, cidx)]
     return out

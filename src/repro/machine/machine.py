@@ -10,7 +10,13 @@ per-rank clocks/counters and provides:
 * ``charge_local(rank_costs)`` — per-rank compute charges without sync;
 * ``phase(name)`` — context manager labelling subsequent charges, used by the
   per-phase cost benches (inversion / solve / update in Section VII);
-* ``time()``, ``critical_path()`` — simulated results.
+* ``region(name)`` — like ``phase`` but *cumulative across nesting*: a charge
+  inside nested regions is attributed to every active region.  The Cluster
+  front-end wraps each scheduled request in a region so per-request costs
+  can be read back even though the algorithms open their own inner phases;
+* ``grid_pool()`` — all remaining ranks as a subgrid-allocator pool (the
+  ``repro.sched`` quadrant pool the Cluster schedules solves onto);
+* ``time()``, ``critical_path()``, ``group_time(ranks)`` — simulated results.
 
 The machine never looks at the numpy payloads; data movement is done by the
 collectives in :mod:`repro.machine.collectives`, which call back into
@@ -63,6 +69,10 @@ class Machine:
         #: per-phase, per-rank (S, W, F) accumulators; the reported phase
         #: cost is the componentwise max over ranks (see phase_cost)
         self._phase_acc: dict[str, np.ndarray] = {}
+        self._region_stack: list[str] = []
+        #: per-region accumulators (same shape as phases, but cumulative
+        #: across nesting: a charge counts toward every active region)
+        self._region_acc: dict[str, np.ndarray] = {}
         self._next_rank = 0
 
     # -- grid allocation ------------------------------------------------------
@@ -82,6 +92,31 @@ class Machine:
         g = ProcessorGrid.build(shape, start=self._next_rank)
         self._next_rank += n
         return g
+
+    def grid_pool(self, *shape: int):
+        """All remaining ranks as a :class:`repro.sched.SubgridAllocator` pool.
+
+        With no ``shape`` the pool root is the near-square 2D grid over every
+        unallocated rank (the Cluster's quadrant pool); an explicit shape
+        allocates that grid instead.  Power-of-two subgrids are then handed
+        out with ``allocate``/``release`` (split/coalesce semantics).
+        """
+        from repro.machine.validate import require as _require
+        from repro.sched.allocator import SubgridAllocator
+
+        if not shape:
+            remaining = self.n_ranks - self._next_rank
+            _require(
+                remaining >= 1, GridError, "machine has no unallocated ranks to pool"
+            )
+            b = int(np.log2(remaining)) if remaining > 1 else 0
+            _require(
+                2**b == remaining,
+                GridError,
+                f"grid_pool needs a power-of-two rank count, got {remaining}",
+            )
+            shape = (2 ** ((b + 1) // 2), 2 ** (b // 2))
+        return SubgridAllocator(self.grid(*shape))
 
     # -- charging ---------------------------------------------------------------
 
@@ -130,6 +165,19 @@ class Machine:
             group = range(self.n_ranks)
         self.counters.sync(np.asarray(list(group), dtype=np.int64))
 
+    def advance_group(self, group: Sequence[int], t: float) -> None:
+        """Advance the group's clocks to at least simulated time ``t``.
+
+        No cost is charged — this models an external release time (the
+        Cluster uses it so a request's charges cannot start before the
+        request arrives).  Ranks already past ``t`` are untouched.
+        """
+        idx = np.asarray(list(group), dtype=np.int64)
+        if idx.size:
+            self.counters.clock[idx] = np.maximum(
+                self.counters.clock[idx], float(t)
+            )
+
     # -- phases -------------------------------------------------------------------
 
     @contextlib.contextmanager
@@ -149,29 +197,70 @@ class Machine:
     def current_phase(self) -> str:
         return self._phase_stack[-1] if self._phase_stack else ""
 
-    def phase_cost(self, name: str) -> Cost:
+    @contextlib.contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Attribute charges to ``name`` *cumulatively* across nesting.
+
+        Unlike :meth:`phase` (innermost wins), a charge inside nested
+        regions counts toward every active region, and regions compose
+        freely with phases.  The Cluster front-end opens one region per
+        scheduled request, so a request's total (S, W, F) is recoverable
+        even though the solver opens its own inversion/solve/update phases
+        inside it.
+        """
+        self._region_stack.append(name)
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+
+    def phase_cost(self, name: str, ranks: Sequence[int] | None = None) -> Cost:
         """Componentwise max over ranks of this phase's per-rank totals.
 
         Concurrent charges to disjoint groups therefore do not inflate the
         phase cost — this is the within-phase critical-path proxy the E6
-        bench compares against the Section VII formulas.
+        bench compares against the Section VII formulas.  ``ranks``
+        restricts the max to a subset (per-subgrid accounting: the same
+        phase name may be active on several disjoint subgrids at once).
         """
-        acc = self._phase_acc.get(name)
-        if acc is None:
-            return Cost.zero()
-        return Cost(float(acc[0].max()), float(acc[1].max()), float(acc[2].max()))
+        return self._acc_cost(self._phase_acc.get(name), ranks)
+
+    def region_cost(self, name: str, ranks: Sequence[int] | None = None) -> Cost:
+        """Componentwise max over ``ranks`` of a region's per-rank totals."""
+        return self._acc_cost(self._region_acc.get(name), ranks)
 
     def phase_names(self) -> list[str]:
         return list(self._phase_acc.keys())
 
+    def region_names(self) -> list[str]:
+        return list(self._region_acc.keys())
+
+    def _acc_cost(
+        self, acc: np.ndarray | None, ranks: Sequence[int] | None
+    ) -> Cost:
+        if acc is None:
+            return Cost.zero()
+        if ranks is not None:
+            idx = np.asarray(list(ranks), dtype=np.int64)
+            if idx.size == 0:
+                return Cost.zero()
+            acc = acc[:, idx]
+        return Cost(float(acc[0].max()), float(acc[1].max()), float(acc[2].max()))
+
     def _phase_add(self, ranks: np.ndarray, cost: Cost) -> None:
         phase = self.current_phase()
-        if not phase:
-            return
-        acc = self._phase_acc.get(phase)
+        if phase:
+            self._bump(self._phase_acc, phase, ranks, cost)
+        for name in set(self._region_stack):
+            self._bump(self._region_acc, name, ranks, cost)
+
+    def _bump(
+        self, table: dict[str, np.ndarray], name: str, ranks: np.ndarray, cost: Cost
+    ) -> None:
+        acc = table.get(name)
         if acc is None:
             acc = np.zeros((3, self.n_ranks))
-            self._phase_acc[phase] = acc
+            table[name] = acc
         acc[0, ranks] += cost.S
         acc[1, ranks] += cost.W
         acc[2, ranks] += cost.F
@@ -185,6 +274,13 @@ class Machine:
     def time(self) -> float:
         """Simulated critical-path execution time in seconds."""
         return self.counters.critical_path()[0]
+
+    def group_time(self, ranks: Sequence[int]) -> float:
+        """Max simulated clock over a rank subset (a subgrid's finish time)."""
+        idx = np.asarray(list(ranks), dtype=np.int64)
+        if idx.size == 0:
+            return 0.0
+        return float(self.counters.clock[idx].max())
 
     def critical_path(self) -> Cost:
         """(S, W, F) along the critical path (counters of the slowest rank)."""
@@ -204,6 +300,7 @@ class Machine:
         self.memory.reset()
         self.trace.clear()
         self._phase_acc.clear()
+        self._region_acc.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Machine(n_ranks={self.n_ranks}, params={self.params.name!r})"

@@ -26,9 +26,11 @@ Communication schedule (line numbers match the paper's pseudo-code):
 
 The ``z`` index enumerates ``p2`` contiguous column slabs of ``X``
 (``z = x2 + sqrt(p2)*y2``).  Lines 3, 4 and 8 charge the paper's exact
-costs while the slab pieces are routed directly from the owning blocks
-(:func:`repro.dist.routing.gather_frame` — no ``to_global()`` scratch
-assembly of all of ``X``); lines 2, 5 and 7 use the real collectives.
+costs while the slab pieces are routed directly between the owning blocks
+(:func:`repro.dist.routing.gather_frame` on the way in,
+:func:`~repro.dist.routing.scatter_frame` on the way out — no
+``to_global()``/``from_global`` scratch assembly anywhere on the hot
+path); lines 2, 5 and 7 use the real collectives.
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
-from repro.dist.routing import End, gather_frame
+from repro.dist.routing import End, gather_frame, scatter_frame
 from repro.machine.collectives import (
     _log2_ceil,
     allgather_blocks,
@@ -175,10 +177,16 @@ def mm3d(A: DistMatrix, X: DistMatrix, p1: int, scale: float = 1.0) -> DistMatri
     machine.charge_local(flops, label="mm3d.line6")
 
     # ---- line 7: scatter-reduce over the y1 fibers ------------------------------
-    # and line 8: transpose B back to the 2D cyclic layout.
-    Bg = np.zeros((m, k))
+    # and line 8: transpose B back to the 2D cyclic layout.  Each reduced
+    # (x1, z) slab is scattered straight into the destination cyclic blocks
+    # (scatter_frame, the routing counterpart of the line-5 gather) — no
+    # global ``Bg`` scratch and no ``to_global``/``from_global`` assembly
+    # anywhere on the MM hot path.
+    out_blocks = {
+        grid.rank(coord): np.zeros(X.layout.local_shape(coord, (m, k)))
+        for coord in grid.coords()
+    }
     for x1 in range(p1):
-        row_chunks = split_indices(len(A_rows[x1]), p1)
         for x2 in range(sq):
             for y2 in range(sq):
                 z = x2 + sq * y2
@@ -188,15 +196,25 @@ def mm3d(A: DistMatrix, X: DistMatrix, p1: int, scale: float = 1.0) -> DistMatri
                     machine, group, contribs, axis=0, label="mm3d.line7"
                 )
                 lo, hi = col_slabs[z]
-                for y1 in range(p1):
-                    clo, chi = row_chunks[y1]
-                    rows = A_rows[x1][clo:chi]
-                    if rows.size:
-                        Bg[np.ix_(rows, np.arange(lo, hi))] = slabs[group[y1]]
+                # The y1-th chunk holds the next contiguous run of A' rows,
+                # so concatenating restores the full (x1, z) slab frame.
+                frame = np.concatenate([slabs[group[y1]] for y1 in range(p1)], axis=0)
+                if frame.size:
+                    scatter_frame(
+                        End(
+                            grid,
+                            X.layout,
+                            (m, k),
+                            rows=A_rows[x1],
+                            cols=np.arange(lo, hi),
+                        ),
+                        frame,
+                        out_blocks,
+                    )
     if p > 1:
         mk = float(m) * float(k)
         machine.charge(
             all_ranks, machine.coll.alltoall(p, mk / p), label="mm3d.line8"
         )
 
-    return DistMatrix.from_global(machine, grid, X.layout, Bg)
+    return DistMatrix(machine, grid, X.layout, (m, k), out_blocks)

@@ -1,0 +1,178 @@
+"""SubgridAllocator: a power-of-two quadrant pool over one processor grid.
+
+The Diagonal-Inverter already proves the machine model supports concurrent
+work on disjoint subgrids (every diagonal block inverts on its own grid);
+this module generalizes the idea from "one algorithm's private split" to a
+*pool* the Cluster front-end schedules arbitrary requests onto.
+
+The pool is a buddy tree over a root :class:`~repro.machine.topology.
+ProcessorGrid`.  A node splits into its two :meth:`ProcessorGrid.halves`
+along the currently largest axis, so repeated splits of a square root grid
+walk through halves and quadrants — every block is a contiguous
+axis-aligned sub-rectangle of the root, and every block size is
+``root.size / 2^j``.  Allocation finds the *smallest* free block that fits
+and splits it down to the exact requested size; release coalesces buddy
+pairs back up, so a drained pool always returns to the single free root
+(the invariant ``tests/test_sched.py`` property-tests).
+
+Grids handed out are plain :class:`ProcessorGrid` views — reshape them to
+whatever topology the algorithm wants (``p1 x p1 x p2`` for It-Inv-TRSM, a
+square for MM/RecTriInv); the ranks stay the block's ranks.
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import GridError, ParameterError, require
+from repro.util.mathutil import is_power_of_two
+
+
+class _Node:
+    """One block of the buddy tree."""
+
+    __slots__ = ("grid", "parent", "children", "allocated")
+
+    def __init__(self, grid: ProcessorGrid, parent: "_Node | None" = None):
+        self.grid = grid
+        self.parent = parent
+        self.children: tuple[_Node, _Node] | None = None
+        self.allocated = False
+
+    @property
+    def free(self) -> bool:
+        return not self.allocated and self.children is None
+
+    def split(self) -> tuple["_Node", "_Node"]:
+        """Halve along the largest axis (ties break toward the first axis)."""
+        axis = max(range(self.grid.ndim), key=lambda a: self.grid.shape[a])
+        require(
+            self.grid.shape[axis] % 2 == 0,
+            GridError,
+            f"block of shape {self.grid.shape} cannot split further",
+        )
+        lo, hi = self.grid.halves(axis)
+        self.children = (_Node(lo, self), _Node(hi, self))
+        return self.children
+
+
+class SubgridAllocator:
+    """Split/coalesce pool of disjoint subgrids of one root grid."""
+
+    def __init__(self, root: ProcessorGrid):
+        require(
+            is_power_of_two(root.size),
+            ParameterError,
+            f"the pool needs a power-of-two root, got {root.size} ranks",
+        )
+        self._root = _Node(root)
+        self._leases: dict[ProcessorGrid, _Node] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def root_grid(self) -> ProcessorGrid:
+        return self._root.grid
+
+    @property
+    def capacity(self) -> int:
+        """Total ranks in the pool."""
+        return self._root.grid.size
+
+    def allocatable_sizes(self) -> list[int]:
+        """Every block size the pool can ever produce (descending)."""
+        sizes = []
+        s = self.capacity
+        while s >= 1:
+            sizes.append(s)
+            s //= 2
+        return sizes
+
+    def allocated_grids(self) -> list[ProcessorGrid]:
+        """Currently leased subgrids."""
+        return list(self._leases)
+
+    def in_use(self) -> int:
+        """Ranks currently leased."""
+        return sum(g.size for g in self._leases)
+
+    def drained(self) -> bool:
+        """True iff nothing is leased and the pool has coalesced to the root."""
+        return self._root.free
+
+    def can_allocate(self, size: int) -> bool:
+        return self.preview(size) is not None
+
+    # -- allocate / release -------------------------------------------------
+
+    def preview(self, size: int) -> ProcessorGrid | None:
+        """The grid :meth:`allocate` would return for ``size`` — no mutation.
+
+        The scheduler uses this to price a request's operand migration onto
+        the *concrete* candidate subgrid before committing.  Returns ``None``
+        when no free block can currently serve the size.
+        """
+        node = self._fit(size)
+        if node is None:
+            return None
+        grid = node.grid
+        while grid.size > size:
+            axis = max(range(grid.ndim), key=lambda a: grid.shape[a])
+            grid = grid.halves(axis)[0]
+        return grid
+
+    def allocate(self, size: int) -> ProcessorGrid | None:
+        """Lease a subgrid of exactly ``size`` ranks (``None`` if full).
+
+        ``size`` must be a power of two not exceeding the capacity.  The
+        smallest free block that fits is split down (first half each time,
+        so the result matches :meth:`preview`) and marked allocated.
+        """
+        require(
+            is_power_of_two(size) and 1 <= size <= self.capacity,
+            ParameterError,
+            f"size must be a power of two in [1, {self.capacity}], got {size}",
+        )
+        node = self._fit(size)
+        if node is None:
+            return None
+        while node.grid.size > size:
+            node = node.split()[0]
+        node.allocated = True
+        self._leases[node.grid] = node
+        return node.grid
+
+    def release(self, grid: ProcessorGrid) -> None:
+        """Return a leased subgrid; buddy pairs coalesce back toward the root."""
+        node = self._leases.pop(grid, None)
+        require(node is not None, ParameterError, f"{grid!r} is not leased from this pool")
+        node.allocated = False
+        parent = node.parent
+        while parent is not None and all(c.free for c in parent.children):
+            parent.children = None
+            parent = parent.parent
+
+    # -- internals ----------------------------------------------------------
+
+    def _fit(self, size: int) -> _Node | None:
+        """Smallest free block with ``size`` ranks or more (DFS, first wins)."""
+        best: _Node | None = None
+
+        def visit(node: _Node) -> None:
+            nonlocal best
+            if node.allocated:
+                return
+            if node.children is not None:
+                for c in node.children:
+                    visit(c)
+                return
+            if node.grid.size >= size and (best is None or node.grid.size < best.grid.size):
+                best = node
+
+        visit(self._root)
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SubgridAllocator(capacity={self.capacity}, "
+            f"in_use={self.in_use()}, leases={len(self._leases)})"
+        )

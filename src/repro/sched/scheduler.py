@@ -1,0 +1,218 @@
+"""Pack a queue of heterogeneous requests onto the subgrid pool.
+
+The scheduler is an event-driven list scheduler over the modeled costs:
+
+* at every decision point the arrived, still-unplaced requests are
+  considered longest-first (LPT — the classical makespan heuristic);
+* for each request every candidate subgrid size the pool can currently
+  serve is priced as ``finish = now + staging + execution``, where
+  *staging* is the exact :mod:`repro.dist.routing` migration cost of the
+  request's resident operands onto the concrete candidate subgrid
+  (:meth:`SubgridAllocator.preview` exposes it before committing) and
+  *execution* is the request's closed-form model on that size;
+* a placement is scored ``max(finish, area bound)`` where the *area
+  bound* is ``now + (remaining queue's rank-seconds + this placement's
+  rank-seconds) / capacity`` — a finish-time-greedy rule would grab the
+  whole machine whenever the full grid is marginally faster per request
+  and serialize the queue behind it; charging each candidate for the
+  capacity it consumes is what makes the scheduler *pack*.  The
+  minimum-score (request, size) pair is committed; ties prefer the
+  smaller subgrid;
+* when nothing fits, time advances to the earliest running finish and its
+  subgrid coalesces back into the pool.
+
+The result is a :class:`Schedule`: per-request assignments with modeled
+start/finish plus the aggregate makespan and occupancy.  Execution
+(:meth:`repro.api.Cluster.run`) replays the assignments in start order on
+the real simulated machine — the machine's group-synchronization semantics
+reproduce the packing, since charges only advance the clocks of the ranks
+they touch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.machine.cost import Cost, CostParams
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import ParameterError, require
+from repro.sched.allocator import SubgridAllocator
+
+
+class SchedulableRequest(Protocol):
+    """What the scheduler needs from a request (see ``repro.api.requests``)."""
+
+    arrival: float
+
+    def candidate_sizes(self, capacity: int) -> list[int]: ...
+
+    def modeled_cost(self, size: int, params: CostParams) -> Cost: ...
+
+    def staging_cost(self, grid: ProcessorGrid, params: CostParams) -> Cost: ...
+
+
+@dataclass
+class Assignment:
+    """One request placed on one subgrid for one modeled time window."""
+
+    index: int
+    request: object
+    grid: ProcessorGrid
+    size: int
+    start: float
+    staging_seconds: float
+    exec_seconds: float
+    finish: float
+    staging: Cost = field(default_factory=Cost.zero)
+    modeled: Cost = field(default_factory=Cost.zero)
+
+
+@dataclass
+class Schedule:
+    """The packed queue: assignments in start order plus aggregates."""
+
+    assignments: list[Assignment]
+    capacity: int
+
+    @property
+    def makespan(self) -> float:
+        """Modeled completion time of the whole queue."""
+        return max((a.finish for a in self.assignments), default=0.0)
+
+    def occupancy(self) -> float:
+        """Busy rank-seconds over available rank-seconds (0..1)."""
+        span = self.makespan
+        if span <= 0.0:
+            return 0.0
+        busy = sum(a.size * (a.finish - a.start) for a in self.assignments)
+        return busy / (self.capacity * span)
+
+    def throughput(self) -> float:
+        """Completed requests per modeled second."""
+        span = self.makespan
+        return len(self.assignments) / span if span > 0.0 else 0.0
+
+
+class Scheduler:
+    """Event-driven LPT packing of requests onto a :class:`SubgridAllocator`."""
+
+    def __init__(self, allocator: SubgridAllocator, params: CostParams | None = None):
+        self.allocator = allocator
+        self.params = params or CostParams()
+
+    def schedule(self, requests: Sequence[SchedulableRequest]) -> Schedule:
+        """Pack ``requests``; the pool is drained again when this returns."""
+        alloc = self.allocator
+        params = self.params
+        require(
+            alloc.drained(),
+            ParameterError,
+            "scheduling needs a drained pool (release running leases first)",
+        )
+        pending = list(enumerate(requests))
+        running: list[tuple[float, int, Assignment]] = []  # (finish, seq, a)
+        out: list[Assignment] = []
+        now, seq = 0.0, 0
+
+        def exec_seconds(req: SchedulableRequest, size: int) -> float:
+            return req.modeled_cost(size, params).time(params)
+
+        def min_area(req: SchedulableRequest) -> float:
+            """Fewest rank-seconds any placement of ``req`` consumes."""
+            return min(
+                (s * exec_seconds(req, s) for s in req.candidate_sizes(alloc.capacity)),
+                default=0.0,
+            )
+
+        while pending or running:
+            placed = True
+            while placed:
+                placed = False
+                arrived = [it for it in pending if it[1].arrival <= now]
+                # LPT: longest best-case execution first.
+                arrived.sort(
+                    key=lambda it: -min(
+                        (exec_seconds(it[1], s) for s in it[1].candidate_sizes(alloc.capacity)),
+                        default=0.0,
+                    )
+                )
+                for index, req in arrived:
+                    rest_area = sum(
+                        min_area(r) for j, r in pending if j != index
+                    )
+                    best: tuple[float, float, int, Cost, Cost] | None = None
+                    for size in req.candidate_sizes(alloc.capacity):
+                        grid = alloc.preview(size)
+                        if grid is None:
+                            continue
+                        staging = req.staging_cost(grid, params)
+                        modeled = req.modeled_cost(size, params)
+                        duration = staging.time(params) + modeled.time(params)
+                        finish = now + duration
+                        # Score the placement by its own finish AND the area
+                        # bound it leaves the rest of the queue with.
+                        score = max(
+                            finish, now + (rest_area + size * duration) / alloc.capacity
+                        )
+                        # Strictly-better score wins; near-ties (1 ppm) take
+                        # the smaller subgrid to keep capacity for the queue.
+                        if best is None or score < best[0] * (1.0 - 1e-6):
+                            best = (score, finish, size, staging, modeled)
+                        elif score <= best[0] * (1.0 + 1e-6) and size < best[2]:
+                            best = (score, finish, size, staging, modeled)
+                    if best is None:
+                        continue
+                    _, finish, size, staging, modeled = best
+                    grid = alloc.allocate(size)
+                    assert grid is not None  # preview said it fits
+                    a = Assignment(
+                        index=index,
+                        request=req,
+                        grid=grid,
+                        size=size,
+                        start=now,
+                        staging_seconds=staging.time(params),
+                        exec_seconds=modeled.time(params),
+                        finish=finish,
+                        staging=staging,
+                        modeled=modeled,
+                    )
+                    heapq.heappush(running, (finish, seq, a))
+                    seq += 1
+                    out.append(a)
+                    pending.remove((index, req))
+                    placed = True
+                    break  # re-rank the queue against the shrunken pool
+            # Advance to the next event: the earliest running finish OR the
+            # next arrival, whichever comes first — a request arriving while
+            # others run must be considered as soon as it arrives, not when
+            # the next tenant happens to finish (free capacity may be idle).
+            next_arrival = min(
+                (it[1].arrival for it in pending if it[1].arrival > now),
+                default=None,
+            )
+            if running:
+                next_finish = running[0][0]
+                if next_arrival is not None and next_arrival < next_finish:
+                    now = next_arrival
+                else:
+                    finish, _, done = heapq.heappop(running)
+                    alloc.release(done.grid)
+                    now = max(now, finish)
+            elif next_arrival is not None:
+                # Nothing running and nothing placeable has arrived yet.
+                now = next_arrival
+            require(
+                not (not running and pending and all(it[1].arrival <= now for it in pending)
+                     and not any(
+                         alloc.can_allocate(s)
+                         for it in pending
+                         for s in it[1].candidate_sizes(alloc.capacity)
+                     )),
+                ParameterError,
+                "a pending request fits no allocatable subgrid size",
+            )
+        out.sort(key=lambda a: (a.start, a.index))
+        return Schedule(assignments=out, capacity=alloc.capacity)

@@ -42,7 +42,7 @@ from repro.dist.triangular import (
     require_nonsingular_triangular,
     require_square,
 )
-from repro.machine.collectives import _log2_ceil, allreduce, bcast, sendrecv
+from repro.machine.collectives import allreduce, bcast, sendrecv
 from repro.machine.cost import Cost
 from repro.machine.machine import Machine
 from repro.machine.topology import ProcessorGrid
@@ -327,16 +327,25 @@ def it_inv_trsm_global(
     n0: int,
     base_n: int = 8,
     row_block: int = 1,
+    grid3d: ProcessorGrid | None = None,
 ) -> DistMatrix:
     """Distribute ``L``/``B`` per the paper's conventions and solve.
 
     ``row_block`` is the paper's physical row block size ``b`` for ``B``;
     ``L`` is distributed with the matching block-cyclic partition so the
-    two operands' row/column classes align.
+    two operands' row/column classes align.  ``grid3d`` supplies an
+    externally owned ``p1 x p1 x p2`` grid (e.g. a Cluster subgrid lease)
+    instead of allocating fresh ranks from the machine.
     """
     n = L_global.shape[0]
     B2 = np.asarray(B_global, dtype=np.float64).reshape(n, -1)
-    grid3d = machine.grid(p1, p1, p2)
+    if grid3d is None:
+        grid3d = machine.grid(p1, p1, p2)
+    require(
+        grid3d.shape == (p1, p1, p2),
+        GridError,
+        f"grid3d has shape {grid3d.shape}, parameters say ({p1}, {p1}, {p2})",
+    )
     plane_L = grid3d.plane(2, 0)
     plane_B = grid3d.plane(1, 0)
     L_layout = (

@@ -15,26 +15,34 @@ multiplication.  ``PreparedTrsm`` packages that pattern:
 Every call runs on a fresh machine seeded with the prepared inverse, so
 per-application costs are measured independently and are directly
 comparable.
+
+Since the Cluster redesign both the preparation and each application are
+single-request :class:`repro.api.Cluster` runs pinned to the full machine
+(an :class:`repro.api.InvRequest` with a diagonal block size, then
+:class:`repro.api.PreparedSolveRequest` s); behavior and charges are
+unchanged.  To batch many applications onto subgrids concurrently, submit
+``PreparedSolveRequest(prepared=solver, B=...)`` to a shared Cluster
+instead of calling :meth:`solve`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.dist.distmatrix import DistMatrix
-from repro.dist.layout import CyclicLayout
 from repro.machine.cost import Cost, CostParams
-from repro.machine.machine import Machine
 from repro.machine.validate import ParameterError, ShapeError, require
-from repro.trsm.diagonal_inverter import diagonal_inverter
-from repro.trsm.iterative import _RowCyclicColBlocked, it_inv_trsm
 from repro.tuning.parameters import TuningChoice, tuned_parameters
-from repro.util.checking import relative_residual
 from repro.util.mathutil import is_power_of_two
 
 
 class PreparedTrsm:
-    """A triangular factor with pre-inverted diagonal blocks."""
+    """A triangular factor with pre-inverted diagonal blocks.
+
+    .. deprecated:: 1.1
+        Thin wrapper over single-request Clusters (kept one release for
+        compatibility); new code should submit
+        :class:`repro.api.PreparedSolveRequest` s directly.
+    """
 
     def __init__(
         self,
@@ -50,6 +58,8 @@ class PreparedTrsm:
         ``k_hint`` is the expected right-hand-side count, used only for the
         a-priori parameter choice (Section VIII needs the shape ratio).
         """
+        from repro.api import Cluster, InvRequest
+
         require(is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}")
         self.L = np.asarray(L, dtype=np.float64)
         require(
@@ -61,8 +71,9 @@ class PreparedTrsm:
         self.p = p
         self.params = params or CostParams()
         self.base_n = base_n
+        self.k_hint = max(k_hint, 1)
 
-        choice = tuned_parameters(self.n, max(k_hint, 1), p)
+        choice = tuned_parameters(self.n, self.k_hint, p)
         if n0 is not None:
             require(self.n % n0 == 0, ParameterError, f"n0={n0} must divide n={self.n}")
             choice = TuningChoice(
@@ -75,19 +86,22 @@ class PreparedTrsm:
             )
         self.choice = choice
 
-        # One-off preparation on its own machine.
-        machine = Machine(p, params=self.params)
-        grid3d = machine.grid(choice.p1, choice.p1, choice.p2)
-        plane_L = grid3d.plane(2, 0)
-        Ld = DistMatrix.from_global(
-            machine, plane_L, CyclicLayout(choice.p1, choice.p1), self.L
+        # One-off preparation: a single diagonal-inversion request on its
+        # own machine, pinned to the full grid.
+        cluster = Cluster(p, params=self.params)
+        rid = cluster.submit(
+            InvRequest(
+                L=self.L,
+                n0=choice.n0,
+                k_hint=self.k_hint,
+                base_n=base_n,
+                sizes=(p,),
+            )
         )
-        with machine.phase("inversion"):
-            self._Ltilde_global = diagonal_inverter(
-                Ld, choice.n0, pool=grid3d.ranks(), base_n=base_n
-            ).to_global()
-        self.preparation_cost: Cost = machine.critical_path()
-        self.preparation_time: float = machine.time()
+        rec = cluster.run().record(rid)
+        self._Ltilde_global = rec.value
+        self.preparation_cost: Cost = cluster.machine.critical_path()
+        self.preparation_time: float = cluster.machine.time()
         self.last_solve_cost: Cost | None = None
         self.last_solve_time: float | None = None
         self.solves: int = 0
@@ -98,6 +112,8 @@ class PreparedTrsm:
         Runs only the solve/update phases (the prepared inverse is reused),
         on a fresh machine so the measured cost is per-application.
         """
+        from repro.api import Cluster, PreparedSolveRequest
+
         Bv = np.asarray(B, dtype=np.float64)
         vector = Bv.ndim == 1
         require(
@@ -106,32 +122,16 @@ class PreparedTrsm:
             f"B has {Bv.shape[0]} rows, L is {self.n} x {self.n}",
         )
         B2 = Bv.reshape(self.n, -1)
-        c = self.choice
 
-        machine = Machine(self.p, params=self.params)
-        grid3d = machine.grid(c.p1, c.p1, c.p2)
-        plane_L = grid3d.plane(2, 0)
-        plane_B = grid3d.plane(1, 0)
-        lay_L = CyclicLayout(c.p1, c.p1)
-        Ld = DistMatrix.from_global(machine, plane_L, lay_L, self.L)
-        Ltilde = DistMatrix.from_global(machine, plane_L, lay_L, self._Ltilde_global)
-        Bd = DistMatrix.from_global(
-            machine, plane_B, _RowCyclicColBlocked(c.p1, c.p2), B2
+        cluster = Cluster(self.p, params=self.params)
+        rid = cluster.submit(
+            PreparedSolveRequest(prepared=self, B=B2, verify=verify, sizes=(self.p,))
         )
-        Xd = it_inv_trsm(
-            machine, grid3d, Ld, Bd, n0=c.n0, base_n=self.base_n, Ltilde=Ltilde
-        )
-        X = Xd.to_global()
-        self.last_solve_cost = machine.critical_path()
-        self.last_solve_time = machine.time()
+        rec = cluster.run().record(rid)
+        X = rec.value
+        self.last_solve_cost = cluster.machine.critical_path()
+        self.last_solve_time = cluster.machine.time()
         self.solves += 1
-        if verify:
-            resid = relative_residual(self.L, X, B2)
-            require(
-                bool(resid < 1e-8) or not np.all(np.isfinite(B2)),
-                ShapeError,
-                f"prepared solve verification failed (residual {resid:.3e})",
-            )
         return X[:, 0] if vector else X
 
     def amortized_time(self, applications: int) -> float:

@@ -2,10 +2,17 @@
 
 ``trsm(L, B, p=...)`` is the one-call public API: it classifies the regime
 (Section VIII), picks tuned parameters (closed forms by default, exhaustive
-model search with ``tune="search"``), allocates a simulated machine, runs
-the chosen algorithm on real data, verifies the residual, and returns a
-:class:`TrsmResult` bundling the solution with the measured critical-path
-costs and the a-priori model prediction.
+model search with ``tune="search"``), runs the chosen algorithm on real
+data, verifies the residual, and returns a :class:`TrsmResult` bundling the
+solution with the measured critical-path costs and the a-priori model
+prediction.
+
+Since the Cluster redesign this is a *thin wrapper* over a single-request
+:class:`repro.api.Cluster` pinned to the full machine — the call behaves
+(and charges) exactly as it always did, but multi-request workloads should
+use the Cluster directly, which can pack many solves onto disjoint
+subgrids concurrently.  The signature is kept for one release of
+compatibility.
 """
 
 from __future__ import annotations
@@ -17,12 +24,7 @@ import numpy as np
 from repro.machine.cost import Cost, CostParams
 from repro.machine.machine import Machine
 from repro.machine.validate import ParameterError, require
-from repro.trsm.cost_model import iterative_cost, recursive_cost
-from repro.trsm.iterative import it_inv_trsm_global
-from repro.trsm.recursive import rec_trsm_global
-from repro.tuning.optimizer import optimize_parameters
-from repro.tuning.parameters import TuningChoice, tuned_parameters
-from repro.util.checking import relative_residual
+from repro.tuning.parameters import TuningChoice
 from repro.util.mathutil import is_power_of_two
 
 
@@ -64,6 +66,13 @@ def trsm(
 ) -> TrsmResult:
     """Solve ``L X = B`` on a simulated ``p``-processor machine.
 
+    .. deprecated:: 1.1
+        ``trsm`` now wraps a single-request :class:`repro.api.Cluster`
+        pinned to the full machine; results are bit-identical to the
+        pre-Cluster path.  For more than one solve per machine, build a
+        ``Cluster`` and submit :class:`repro.api.TrsmRequest` s — the
+        subgrid scheduler runs them concurrently.
+
     Parameters
     ----------
     L, B:
@@ -87,68 +96,36 @@ def trsm(
     base_n:
         Redundant-inversion cutoff passed down to ``rec_tri_inv``.
     """
+    from repro.api import Cluster, TrsmRequest
+
     require(is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}")
     L = np.asarray(L, dtype=np.float64)
-    B2 = np.asarray(B, dtype=np.float64)
-    n = L.shape[0]
-    B2 = B2.reshape(n, -1)
-    k = B2.shape[1]
-    params = params or CostParams()
+    vector = np.asarray(B).ndim == 1
+    B2 = np.asarray(B, dtype=np.float64).reshape(L.shape[0], -1)
 
-    if algorithm == "auto":
-        algorithm = "iterative" if p > 1 else "recursive"
-    require(
-        algorithm in ("iterative", "recursive"),
-        ParameterError,
-        f"unknown algorithm {algorithm!r}",
+    cluster = Cluster(p, params=params)
+    rid = cluster.submit(
+        TrsmRequest(
+            L=L,
+            B=B2,
+            algorithm=algorithm,
+            tune=tune,
+            n0=n0,
+            verify=verify,
+            base_n=base_n,
+            sizes=(p,),  # the legacy contract: the whole machine
+        )
     )
+    rec = cluster.run().record(rid)
 
-    machine = Machine(p, params=params)
-
-    if algorithm == "recursive":
-        Xd = rec_trsm_global(machine, L, B2)
-        X = Xd.to_global()
-        result = TrsmResult(
-            X=X,
-            algorithm="recursive",
-            machine=machine,
-            choice=None,
-            modeled=recursive_cost(n, k, p),
-        )
-    else:
-        if tune == "search":
-            choice = optimize_parameters(n, k, p, params=params)
-        else:
-            require(
-                tune == "closed_form",
-                ParameterError,
-                f"unknown tune mode {tune!r}",
-            )
-            choice = tuned_parameters(n, k, p)
-        if n0 is not None:
-            require(n % n0 == 0, ParameterError, f"n0={n0} must divide n={n}")
-            choice = TuningChoice(
-                regime=choice.regime,
-                p1=choice.p1,
-                p2=choice.p2,
-                n0=n0,
-                r1=choice.r1,
-                r2=choice.r2,
-            )
-        Xd = it_inv_trsm_global(
-            machine, L, B2, p1=choice.p1, p2=choice.p2, n0=choice.n0, base_n=base_n
-        )
-        X = Xd.to_global()
-        result = TrsmResult(
-            X=X,
-            algorithm="iterative",
-            machine=machine,
-            choice=choice,
-            modeled=iterative_cost(n, k, choice.n0, choice.p1, choice.p2),
-        )
-
-    if verify:
-        result.residual = relative_residual(L, result.X, B2)
-    if np.asarray(B).ndim == 1:
+    result = TrsmResult(
+        X=rec.value,
+        algorithm=rec.algorithm,
+        machine=cluster.machine,
+        choice=rec.choice,
+        modeled=rec.modeled,
+    )
+    result.residual = rec.residual
+    if vector:
         result.X = result.X[:, 0]
     return result

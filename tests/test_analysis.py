@@ -1,6 +1,5 @@
 """Analysis package: tables, regime map, asymptotic fits."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

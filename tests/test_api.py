@@ -1,0 +1,267 @@
+"""Cluster front-end: wrapper parity, scheduling demo, staging charges."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.api import (
+    Cluster,
+    InvRequest,
+    MMRequest,
+    PreparedSolveRequest,
+    TrsmRequest,
+)
+from repro.api.serve import poisson_stream, replay
+from repro.machine.cost import CostParams
+from repro.machine.machine import Machine
+from repro.machine.validate import ParameterError
+from repro.trsm.cost_model import iterative_cost
+from repro.trsm.iterative import it_inv_trsm_global
+from repro.trsm.prepared import PreparedTrsm
+from repro.tuning.parameters import tuned_parameters
+from repro.util.randmat import random_dense, random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+
+class TestWrapperParity:
+    """trsm() is a thin wrapper over a single-request Cluster — and must
+    behave bit-for-bit like the pre-redesign path (fresh machine, tuned
+    parameters, it_inv_trsm on the full grid)."""
+
+    @pytest.mark.parametrize("n,k,p", [(64, 16, 16), (96, 8, 4), (128, 32, 64)])
+    def test_trsm_matches_pre_redesign_path(self, n, k, p):
+        from repro import trsm
+
+        L = random_lower_triangular(n, seed=0)
+        B = random_dense(n, k, seed=1)
+        params = CostParams()
+
+        choice = tuned_parameters(n, k, p)
+        machine = Machine(p, params=params)
+        X_old = it_inv_trsm_global(
+            machine, L, B, p1=choice.p1, p2=choice.p2, n0=choice.n0
+        ).to_global()
+        cost_old = machine.critical_path()
+        time_old = machine.time()
+
+        res = trsm(L, B, p=p, params=params)
+        assert res.X.tobytes() == X_old.tobytes()  # bit-identical
+        assert res.measured == cost_old
+        assert res.time == time_old
+        assert res.modeled == iterative_cost(n, k, choice.n0, choice.p1, choice.p2)
+
+    def test_prepared_trsm_solve_parity_with_inline_path(self):
+        """PreparedTrsm.solve must still exclude the inversion phase."""
+        L = random_lower_triangular(48, seed=4)
+        solver = PreparedTrsm(L, p=4, k_hint=8, params=UNIT, n0=12)
+        B = random_dense(48, 8, seed=5)
+        X = solver.solve(B)
+        assert np.allclose(X, sla.solve_triangular(L, B, lower=True), atol=1e-9)
+        assert solver.preparation_cost.F > 0
+        assert solver.last_solve_cost is not None
+        assert solver.last_solve_cost.F < solver.preparation_cost.F + 1e9
+
+    def test_single_request_cluster_equals_trsm(self):
+        from repro import trsm
+
+        n, k, p = 64, 8, 16
+        L = random_lower_triangular(n, seed=2)
+        B = random_dense(n, k, seed=3)
+        res = trsm(L, B, p=p)
+        cluster = Cluster(p)
+        rid = cluster.submit(TrsmRequest(L=L, B=B, sizes=(p,)))
+        rec = cluster.run().record(rid)
+        assert rec.value.tobytes() == res.X.tobytes()
+        assert cluster.machine.critical_path() == res.measured
+
+
+class TestSchedulingDemo:
+    """The acceptance demo: >= 8 mixed (n, k) TRSM requests on p = 64
+    finish with a modeled makespan strictly below serial full-grid
+    execution, with every migration charged via an exact routing plan."""
+
+    def test_mixed_queue_beats_serial_full_grid(self):
+        shapes = [
+            (64, 16), (128, 32), (256, 64), (128, 8),
+            (64, 64), (256, 16), (128, 16), (64, 32),
+        ]
+        cluster = Cluster(64)
+        rids = []
+        for i, (n, k) in enumerate(shapes):
+            L = cluster.host(random_lower_triangular(n, seed=10 + i))
+            B = cluster.host(random_dense(n, k, seed=50 + i))
+            rids.append(cluster.submit(TrsmRequest(L=L, B=B)))
+        outcome = cluster.run()
+
+        assert len(outcome.records) == 8
+        assert outcome.modeled_makespan < outcome.serial_seconds  # strict
+        for rid in rids:
+            rec = outcome.record(rid)
+            assert rec.residual is not None and rec.residual < 1e-9
+        # concurrency actually happened: some requests overlap in time
+        starts = sorted(r.modeled_start for r in outcome.records)
+        finishes = sorted(r.modeled_finish for r in outcome.records)
+        assert starts[1] < finishes[-1]
+        assert 0.0 < outcome.occupancy <= 1.0
+
+    def test_all_migrations_have_exact_plans(self):
+        """Staging charges come from RoutingPlan (S = partner counts), never
+        from an all-to-all bound over the union."""
+        from repro.dist.redistribute import staging_plan
+
+        cluster = Cluster(16)
+        n, k = 64, 8
+        L = cluster.host(random_lower_triangular(n, seed=0))
+        B = cluster.host(random_dense(n, k, seed=1))
+        req = TrsmRequest(L=L, B=B)
+        grid = cluster.pool.preview(4)
+        staged = req.staging_cost(grid, cluster.params)
+        targets = list(req._staging_targets(grid, cluster.params))
+        assert targets, "resident operands must produce staging targets"
+        exact_S = exact_W = bound_W = 0.0
+        for D, tgrid, layout in targets:
+            plan = staging_plan(D, tgrid, layout)
+            exact_S += plan.cost().S
+            exact_W += plan.cost().W
+            bound_W += plan.alltoall_bound().W
+        # the priced migration IS the sum of the exact per-pair plans...
+        assert staged.S == exact_S and staged.W == exact_W
+        # ...and the exact word count never exceeds the old uniform bound
+        assert staged.W <= bound_W
+
+    def test_measured_overlap_on_disjoint_subgrids(self):
+        """Charges only advance the clocks they touch, so two requests
+        pinned to disjoint halves overlap in measured time."""
+        cluster = Cluster(16, params=UNIT)
+        for i in range(2):
+            cluster.submit(
+                TrsmRequest(
+                    L=random_lower_triangular(64, seed=i),
+                    B=random_dense(64, 16, seed=10 + i),
+                    sizes=(8,),
+                )
+            )
+        outcome = cluster.run()
+        a, b = outcome.records
+        assert not set(a.grid.ranks()) & set(b.grid.ranks())
+        # both started at measured time zero: true concurrency
+        assert a.measured_start == 0.0 and b.measured_start == 0.0
+        assert outcome.measured_makespan == pytest.approx(
+            max(a.measured_finish, b.measured_finish)
+        )
+
+
+class TestOtherRequests:
+    def test_mm_request(self):
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((32, 24))
+        X = rng.standard_normal((24, 12))
+        cluster = Cluster(16)
+        rid = cluster.submit(MMRequest(A=A, X=X, verify=True))
+        rec = cluster.run().record(rid)
+        assert np.allclose(rec.value, A @ X, atol=1e-10)
+        assert rec.residual < 1e-12
+
+    def test_inv_request_full(self):
+        L = random_lower_triangular(32, seed=1)
+        cluster = Cluster(16)
+        rid = cluster.submit(InvRequest(L=L, verify=True))
+        rec = cluster.run().record(rid)
+        assert np.allclose(rec.value @ L, np.eye(32), atol=1e-8)
+
+    def test_prepared_solve_request_on_shared_cluster(self):
+        L = random_lower_triangular(32, seed=2)
+        solver = PreparedTrsm(L, p=4, k_hint=8, params=UNIT, n0=8)
+        cluster = Cluster(16, params=UNIT)
+        rids = [
+            cluster.submit(
+                PreparedSolveRequest(prepared=solver, B=random_dense(32, 8, seed=s))
+            )
+            for s in (3, 4)
+        ]
+        outcome = cluster.run()
+        for rid, s in zip(rids, (3, 4)):
+            B = random_dense(32, 8, seed=s)
+            assert np.allclose(
+                outcome.record(rid).value,
+                sla.solve_triangular(L, B, lower=True),
+                atol=1e-9,
+            )
+
+    def test_submit_rejects_untyped_requests(self):
+        cluster = Cluster(4)
+        with pytest.raises(ParameterError):
+            cluster.submit("solve please")
+
+    def test_host_rejects_vectors(self):
+        cluster = Cluster(4)
+        with pytest.raises(ParameterError):
+            cluster.host(np.ones(8))
+
+
+class TestServeStream:
+    def test_poisson_stream_is_seeded_and_sorted(self):
+        s1 = poisson_stream(6, rate=1e4, seed=7)
+        s2 = poisson_stream(6, rate=1e4, seed=7)
+        assert s1 == s2
+        arrivals = [r.arrival for r in s1]
+        assert arrivals == sorted(arrivals)
+        assert all(r.n >= 64 and r.k >= 8 for r in s1)
+
+    def test_replay_completes_and_beats_serial(self):
+        stream = poisson_stream(8, rate=0.0, seed=0)
+        outcome = replay(stream, p=64)
+        assert len(outcome.records) == 8
+        assert outcome.modeled_makespan < outcome.serial_seconds
+
+    def test_measured_window_respects_arrival(self):
+        """A request's measured start can never precede its arrival."""
+        cluster = Cluster(4, params=UNIT)
+        rid = cluster.submit(
+            TrsmRequest(
+                L=random_lower_triangular(16, seed=0),
+                B=random_dense(16, 4, seed=1),
+                arrival=5.0,
+            )
+        )
+        outcome = cluster.run()
+        rec = outcome.record(rid)
+        assert rec.modeled_start >= 5.0
+        assert rec.measured_start >= 5.0
+        assert rec.measured_finish > rec.measured_start
+        assert outcome.measured_makespan >= 5.0
+
+
+class TestTuningGridTarget:
+    def test_tuned_parameters_accepts_grid(self):
+        machine = Machine(16)
+        grid = machine.grid(4, 4)
+        assert tuned_parameters(128, 16, grid=grid) == tuned_parameters(128, 16, 16)
+        with pytest.raises(ParameterError):
+            tuned_parameters(128, 16, 8, grid=grid)
+
+    def test_optimizer_accepts_grid(self):
+        from repro.tuning.optimizer import optimize_parameters
+
+        machine = Machine(16)
+        grid = machine.grid(4, 4)
+        assert optimize_parameters(64, 8, grid=grid) == optimize_parameters(64, 8, 16)
+
+
+class TestRegionAccounting:
+    def test_region_accumulates_across_inner_phases(self):
+        machine = Machine(4, params=UNIT)
+        from repro.machine.cost import Cost
+
+        with machine.region("req"):
+            with machine.phase("solve"):
+                machine.charge([0, 1], Cost(1.0, 10.0, 0.0))
+            with machine.phase("update"):
+                machine.charge([2, 3], Cost(2.0, 0.0, 5.0))
+        assert machine.region_cost("req").S == 2.0
+        assert machine.region_cost("req", ranks=[0, 1]).W == 10.0
+        assert machine.region_cost("req", ranks=[2, 3]).F == 5.0
+        # phases still attribute innermost, now rank-scopable
+        assert machine.phase_cost("solve", ranks=[2, 3]).W == 0.0
+        assert machine.phase_cost("solve").W == 10.0

@@ -33,6 +33,46 @@ class TestSolve:
         assert "latency_bound" in capsys.readouterr().out
 
 
+    def test_solve_no_verify_prints_skipped(self, capsys):
+        assert (
+            main(["solve", "-n", "32", "-k", "8", "-p", "4", "--no-verify"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "residual  : skipped" in out
+
+
+class TestServe:
+    def test_serve_burst_reports_speedup(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "-p", "16", "--requests", "4",
+                    "--n-min", "32", "--n-max", "64",
+                    "--k-min", "8", "--k-max", "16",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "modeled makespan" in out
+        assert "serial full-grid" in out
+        assert "pool occupancy" in out
+
+    def test_serve_poisson_no_resident(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "-p", "16", "--requests", "3", "--rate", "1e4",
+                    "--n-min", "32", "--n-max", "32",
+                    "--k-min", "8", "--k-max", "8",
+                    "--no-resident", "--no-verify",
+                ]
+            )
+            == 0
+        )
+        assert "requests          : 3" in capsys.readouterr().out
+
+
 class TestOtherCommands:
     def test_tune(self, capsys):
         assert main(["tune", "-n", "128", "-k", "32", "-p", "16"]) == 0

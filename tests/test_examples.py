@@ -5,7 +5,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 SRC = EXAMPLES.parent / "src"
@@ -73,3 +72,9 @@ def test_custom_algorithm():
     out = run_example("custom_algorithm.py", "64", "16", "8")
     assert "preconditioned Richardson" in out
     assert "per application" in out
+
+
+def test_cluster_serve():
+    out = run_example("cluster_serve.py", "16", "6")
+    assert "modeled makespan" in out
+    assert "packed 6 requests" in out

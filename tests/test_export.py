@@ -3,7 +3,6 @@
 import csv
 import json
 
-import pytest
 
 from repro.analysis.export import (
     conclusion_sweep_rows,

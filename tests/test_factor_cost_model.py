@@ -1,7 +1,5 @@
 """Cholesky cost model and latency-advantage formulas."""
 
-import math
-
 import pytest
 
 from repro.factor.cost_model import cholesky_cost, latency_advantage

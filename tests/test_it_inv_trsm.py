@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.machine import CostParams, Machine
-from repro.machine.validate import GridError, ParameterError, ShapeError
+from repro.machine.validate import ParameterError, ShapeError
 from repro.trsm import it_inv_trsm_global
 from repro.trsm.diagonal_inverter import diagonal_inverter, inversion_subgrid_side
 from repro.dist import CyclicLayout, DistMatrix

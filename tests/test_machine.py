@@ -1,6 +1,5 @@
 """Tests for the simulated machine: charging, syncing, phases."""
 
-import numpy as np
 import pytest
 
 from repro.machine import CostParams, Machine

@@ -13,7 +13,6 @@ repository relies on:
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import settings
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from hypothesis import strategies as st

@@ -228,3 +228,43 @@ class TestDispatch:
         assert mm_bandwidth_lower_bound(10, 1000, 64) == pytest.approx(100.0)
         mid = mm_bandwidth_lower_bound(100, 100, 64)
         assert mid == pytest.approx((100 * 100 * 100 / 64) ** (2 / 3))
+
+
+class TestNoGlobalAssemblyOnHotPath:
+    """The MM hot path must route blocks directly (no to_global scratch)."""
+
+    @pytest.mark.parametrize("p1,sq", [(2, 1), (2, 2), (1, 2)])
+    def test_mm3d_never_assembles_a_global_matrix(self, monkeypatch, p1, sq):
+        sp = p1 * sq
+        machine = Machine(sp * sp, params=UNIT)
+        grid = machine.grid(sp, sp)
+        layout = CyclicLayout(sp, sp)
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((24, 20))
+        X = rng.standard_normal((20, 12))
+        dA = DistMatrix.from_global(machine, grid, layout, A)
+        dX = DistMatrix.from_global(machine, grid, layout, X)
+
+        to_global_calls = []
+        orig_to_global = DistMatrix.to_global
+
+        def spy_to_global(self):
+            to_global_calls.append(self.shape)
+            return orig_to_global(self)
+
+        from_global_calls = []
+        orig_from_global = DistMatrix.from_global.__func__
+
+        def spy_from_global(cls, machine_, grid_, layout_, arr):
+            from_global_calls.append(np.asarray(arr).shape)
+            return orig_from_global(cls, machine_, grid_, layout_, arr)
+
+        monkeypatch.setattr(DistMatrix, "to_global", spy_to_global)
+        monkeypatch.setattr(
+            DistMatrix, "from_global", classmethod(spy_from_global)
+        )
+        dB = mm3d(dA, dX, p1)
+        assert to_global_calls == [], "mm3d assembled a global matrix"
+        assert from_global_calls == [], "mm3d distributed through a scratch"
+        monkeypatch.undo()
+        assert np.allclose(dB.to_global(), A @ X, atol=1e-10)

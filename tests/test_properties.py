@@ -7,7 +7,6 @@ conservation laws of the simulated machine.
 """
 
 import numpy as np
-import pytest
 import scipy.linalg as sla
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """The built-in acceptance battery."""
 
-import pytest
 
 from repro.analysis.selfcheck import CheckResult, SelfCheckReport, run_selfcheck
 

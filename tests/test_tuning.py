@@ -1,7 +1,5 @@
 """Section VIII tuning: regime boundaries, closed forms, discrete search."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
