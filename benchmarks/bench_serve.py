@@ -11,7 +11,12 @@ acceptance artifact:
   latency-bound, so a fraction of the machine per solve plus concurrency
   beats the full grid run serially), and that every request verifies;
 * **poisson** — the same mix replayed as a Poisson arrival stream,
-  reporting makespan, occupancy and throughput per arrival rate.
+  reporting makespan, occupancy and throughput per arrival rate;
+* **prepared** — a PreparedSolve stream against *one hosted factor*: the
+  staged-copy operand cache (PR 4) must pay the factor migration once per
+  subgrid tenancy, with ``staging_saved_seconds > 0`` and a hit rate of
+  at least 50 % on the repeat placements, bit-identically to a cache-off
+  run.
 
 Run via ``make bench-smoke`` (tiny sweep, CI-gated) or directly with
 pytest for the full table.
@@ -23,8 +28,10 @@ import os
 
 from repro.analysis import format_table
 from repro.analysis.serve import serve_report
-from repro.api.serve import poisson_stream, replay
+from repro.api.serve import poisson_stream, replay, replay_prepared
 from repro.machine.cost import HARDWARE_PRESETS
+from repro.trsm.prepared import PreparedTrsm
+from repro.util.randmat import random_lower_triangular
 
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 
@@ -102,3 +109,41 @@ def test_poisson_stream_throughput(emit, benchmark):
     )
     emit("serve_poisson", table)
     benchmark(lambda: None)
+
+
+def test_prepared_stream_amortizes_factor_migration(emit, benchmark):
+    """One hosted factor, >= 8 prepared solves: the operand cache pays the
+    factor migration once per subgrid tenancy (region-accounted)."""
+    n = 64 if SMOKE else 128
+    count = 8 if SMOKE else 12
+    size = P // 4
+    solver = PreparedTrsm(random_lower_triangular(n, seed=0), p=P, k_hint=8)
+
+    on = benchmark(
+        lambda: replay_prepared(
+            solver, count=count, p=P, k=8, seed=5, cache=True, size=size
+        )
+    )
+    off = replay_prepared(solver, count=count, p=P, k=8, seed=5, cache=False, size=size)
+    emit("serve_prepared", serve_report(on))
+
+    assert len(on.records) == count
+    # the reuse win is real and region-accounted: saved time is positive,
+    # and the factor pair migrated exactly once per distinct subgrid
+    assert on.staging_saved_seconds > 0.0
+    blocks = {tuple(r.grid.ranks()) for r in on.records}
+    assert on.staging_misses == 2 * len(blocks)
+    # hit rate >= 50% across the repeat placements
+    assert on.staging_hit_rate() >= 0.5
+    repeats = count - len(blocks)
+    assert on.staging_hits == 2 * repeats and repeats > 0
+    # ...and bit-identical, cheaper-or-equal results vs the cache-off run
+    for r in on.records:
+        o = off.record(r.rid)
+        assert r.value.tobytes() == o.value.tobytes()
+        if r.staging_hit:
+            assert r.measured.W < o.measured.W
+        else:
+            assert r.measured == o.measured
+    assert on.measured_makespan < off.measured_makespan
+    assert on.modeled_makespan <= off.modeled_makespan

@@ -30,6 +30,8 @@ def occupancy_table(outcome) -> str:
                 f"{r.modeled_start * 1e6:.1f}",
                 f"{r.modeled_finish * 1e6:.1f}",
                 f"{r.staging_seconds * 1e6:.2f}",
+                "hit" if r.staging_hit else "-",
+                f"{r.staging_saved_seconds * 1e6:.2f}",
                 float(r.modeled.S),
                 float(r.modeled.W),
                 float(r.measured.S),
@@ -44,6 +46,8 @@ def occupancy_table(outcome) -> str:
             "start us",
             "finish us",
             "stage us",
+            "cache",
+            "saved us",
             "S model",
             "W model",
             "S meas",
@@ -66,6 +70,12 @@ def throughput_report(outcome) -> str:
         f"pool occupancy    : {outcome.occupancy * 100.0:.1f} %",
         f"throughput        : {outcome.throughput() / 1e3:.1f} krequests/s",
     ]
+    if outcome.staging_hits or outcome.staging_misses:
+        lines.append(
+            f"staging cache     : {outcome.staging_hits} hits / "
+            f"{outcome.staging_misses} misses, "
+            f"{outcome.staging_saved_seconds * 1e6:.2f} us saved"
+        )
     return "\n".join(lines)
 
 

@@ -16,7 +16,11 @@ a pool of disjoint subgrids:
   right-hand sides (solve + update phases only, Section II-C3);
 * :class:`RequestRecord` / :class:`ClusterOutcome` — per-request and
   aggregate results: placement, modeled and measured costs, makespan,
-  occupancy, throughput.
+  occupancy, throughput, staged-copy cache hits and savings;
+* :class:`OperandCache` / :class:`CachePlan` — cross-request reuse of
+  staged operand copies (:mod:`repro.api.opcache`): repeat placements on
+  a subgrid whose staged copy is still resident skip the migration, in
+  the scheduler's prices and in the measured charges alike.
 
 The legacy one-call entry points (``repro.trsm``,
 ``repro.trsm.prepared.PreparedTrsm``) are thin wrappers over a
@@ -24,6 +28,7 @@ single-request Cluster, kept one release for compatibility.
 """
 
 from repro.api.cluster import Cluster, ClusterOutcome, RequestRecord
+from repro.api.opcache import CachePlan, OperandCache, cache_key
 from repro.api.requests import (
     Execution,
     InvRequest,
@@ -37,6 +42,9 @@ __all__ = [
     "Cluster",
     "ClusterOutcome",
     "RequestRecord",
+    "OperandCache",
+    "CachePlan",
+    "cache_key",
     "Execution",
     "Request",
     "TrsmRequest",

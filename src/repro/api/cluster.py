@@ -21,6 +21,18 @@ the scheduler before committing and charged point-to-point during
 execution (no global barrier, so staging one request does not serialize
 the others).
 
+Staged copies are **cached** per (operand, subgrid, layout) in an
+:class:`~repro.api.opcache.OperandCache`: a request placed on a subgrid
+where a valid copy of its operand is still resident from a previous
+tenancy pays nothing for it — the scheduler prices the placement
+accordingly (subgrid affinity), :meth:`stage_resident` serves the copy
+during execution, and :class:`RequestRecord.staging_hit` /
+:class:`ClusterOutcome.staging_saved_seconds` report the reuse.  Copies
+are invalidated when the operand mutates or is :meth:`release`\\ d and
+evicted when the allocator destroys their subgrid (coalesce/re-split).
+Construct with ``cache=False`` for the uncached PR-3 behavior; a
+single-request cluster never hits the cache either way.
+
 >>> import numpy as np
 >>> from repro.api import Cluster, TrsmRequest
 >>> from repro.util.randmat import random_dense, random_lower_triangular
@@ -40,13 +52,15 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.opcache import OperandCache
 from repro.api.requests import Execution, Request, validate_request
 from repro.dist.distmatrix import DistMatrix
-from repro.dist.layout import CyclicLayout
+from repro.dist.layout import CyclicLayout, Layout
+from repro.dist.redistribute import stage_matrix
 from repro.machine.cost import Cost, CostParams
 from repro.machine.machine import Machine
 from repro.machine.topology import ProcessorGrid
@@ -76,6 +90,10 @@ class RequestRecord:
     measured: Cost
     measured_start: float
     measured_finish: float
+    #: at least one resident operand was served from the staged-copy cache
+    staging_hit: bool = False
+    #: modeled migration seconds this request did *not* pay thanks to it
+    staging_saved_seconds: float = 0.0
 
 
 @dataclass
@@ -89,13 +107,29 @@ class ClusterOutcome:
     measured_makespan: float
     occupancy: float
     serial_seconds: float
+    #: modeled migration seconds the operand cache saved across the run
+    staging_saved_seconds: float = 0.0
+    #: resident-operand stagings served from / missing the cache
+    staging_hits: int = 0
+    staging_misses: int = 0
+    _by_rid: dict[int, RequestRecord] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._by_rid = {r.rid: r for r in self.records}
 
     def record(self, rid: int) -> RequestRecord:
         """The record of the request ``submit`` returned ``rid`` for."""
-        for r in self.records:
-            if r.rid == rid:
-                return r
-        raise KeyError(f"no record for request id {rid}")
+        got = self._by_rid.get(rid)
+        if got is None:
+            raise KeyError(f"no record for request id {rid}")
+        return got
+
+    def staging_hit_rate(self) -> float:
+        """Cache hit fraction over resident-operand stagings (0 when none)."""
+        total = self.staging_hits + self.staging_misses
+        return self.staging_hits / total if total else 0.0
 
     def throughput(self) -> float:
         """Completed requests per modeled second."""
@@ -119,6 +153,7 @@ class Cluster:
         params: CostParams | None = None,
         collectives: str = "butterfly",
         trace: bool = False,
+        cache: bool = True,
     ):
         require(
             is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}"
@@ -133,8 +168,12 @@ class Cluster:
         #: the data plane: hosted operands live here in a cyclic layout
         self.plane = self.pool.root_grid
         self.plane_layout = CyclicLayout(*self.plane.shape)
+        #: staged-copy reuse across requests (None = uncached PR-3 behavior)
+        self.opcache: OperandCache | None = OperandCache() if cache else None
         self._queue: list[Request] = []
         self._next_rid = 0
+        self._exec_hits = 0
+        self._exec_misses = 0
 
     # -- data plane ---------------------------------------------------------
 
@@ -149,6 +188,49 @@ class Cluster:
         A = np.asarray(A, dtype=np.float64)
         require(A.ndim == 2, ParameterError, "host() takes a 2D matrix")
         return DistMatrix.from_global(self.machine, self.plane, self.plane_layout, A)
+
+    def release(self, operand: DistMatrix) -> int:
+        """Declare a hosted operand dead: drop its cached staged copies.
+
+        The handle itself stays usable (the simulation never reclaims
+        memory), but no future placement can be served a copy of it.
+        Returns the number of cached copies dropped.
+        """
+        if self.opcache is None:
+            return 0
+        return self.opcache.invalidate(operand)
+
+    def stage_resident(
+        self,
+        operand: DistMatrix,
+        grid: ProcessorGrid,
+        layout: Layout,
+        label: str = "cluster.stage",
+    ) -> DistMatrix:
+        """Stage a resident operand onto ``grid``/``layout`` via the cache.
+
+        The Cluster's staging primitive: a valid cached copy from a
+        previous tenancy of the same subgrid is handed back as a private
+        working copy for free; otherwise the operand migrates at the
+        exact point-to-point routing charge and the staged copy is filed
+        for the next tenant.
+        """
+        require(
+            operand.machine is self.machine,
+            ParameterError,
+            "resident operand belongs to a different cluster's machine",
+        )
+        if self.opcache is not None:
+            cached = self.opcache.lookup(operand, grid, layout)
+            if cached is not None:
+                self._exec_hits += 1
+                return cached
+            self._exec_misses += 1
+        with self.machine.phase("staging"):
+            staged = stage_matrix(operand, grid, layout, label=label)
+        if self.opcache is not None:
+            self.opcache.store(operand, grid, layout, staged)
+        return staged
 
     # -- queue --------------------------------------------------------------
 
@@ -178,23 +260,49 @@ class Cluster:
         queue = self._queue
         base_rid = self._next_rid - len(queue)
         self._queue = []
-        schedule = Scheduler(self.pool, self.params).schedule(queue)
+        if self.opcache is not None:
+            # A copy lives exactly as long as its allocator block, and a
+            # drained pool has no blocks: entries left over from manual
+            # stage_resident() warm-ups have no tenancy and must not be
+            # priced as hits (the first allocation's splits would destroy
+            # them mid-run and diverge the plan from the measurement).
+            self.opcache.evict_grid(self.pool.root_grid)
+        schedule = Scheduler(self.pool, self.params, cache=self.opcache).schedule(queue)
         require(
             self.pool.drained(),
             ParameterError,
             "scheduler must return the pool drained",
         )
         records: list[RequestRecord] = []
+        # Allocator destroy events in modeled-time order: replayed against
+        # the real cache as execution advances, so a copy the planner saw
+        # evicted (subgrid coalesced or re-split) is never served here.
+        evictions = list(schedule.evictions)
+        next_evict = 0
         for a in schedule.assignments:
             rid = base_rid + a.index
             region = f"request:{rid}"
             ranks = a.grid.ranks()
+            while next_evict < len(evictions) and evictions[next_evict][0] <= a.start:
+                if self.opcache is not None:
+                    self.opcache.evict_grid(evictions[next_evict][1])
+                next_evict += 1
             # A request cannot start before it arrives: lift the subgrid's
             # clocks to the arrival time so the measured window is physical.
             self.machine.advance_group(ranks, a.request.arrival)
             started = self.machine.group_time(ranks)
+            self._exec_hits = self._exec_misses = 0
             with self.machine.region(region):
                 ex: Execution = a.request.execute(self, a.grid)
+            require(
+                (self._exec_hits, self._exec_misses)
+                == (a.cache_hits, a.cache_misses)
+                or self.opcache is None,
+                ParameterError,
+                f"request {rid}: staged-copy reuse diverged from the "
+                f"schedule (planned {a.cache_hits} hits/{a.cache_misses} "
+                f"misses, measured {self._exec_hits}/{self._exec_misses})",
+            )
             records.append(
                 RequestRecord(
                     rid=rid,
@@ -214,8 +322,15 @@ class Cluster:
                     measured=self.machine.region_cost(region),
                     measured_start=started,
                     measured_finish=self.machine.group_time(ranks),
+                    staging_hit=a.cache_hits > 0,
+                    staging_saved_seconds=a.staging_saved_seconds,
                 )
             )
+        if self.opcache is not None:
+            # Apply the trailing destroy events (the end-of-run drain
+            # coalesces the pool back to the root, ending every tenancy).
+            for _, grid in evictions[next_evict:]:
+                self.opcache.evict_grid(grid)
         serial = sum(
             req.modeled_cost(max(req.candidate_sizes(self.p)), self.params).time(
                 self.params
@@ -230,6 +345,9 @@ class Cluster:
             measured_makespan=self.machine.time(),
             occupancy=schedule.occupancy(),
             serial_seconds=serial,
+            staging_saved_seconds=sum(a.staging_saved_seconds for a in schedule.assignments),
+            staging_hits=sum(a.cache_hits for a in schedule.assignments),
+            staging_misses=sum(a.cache_misses for a in schedule.assignments),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

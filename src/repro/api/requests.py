@@ -22,9 +22,10 @@ import math
 from dataclasses import dataclass, field
 import numpy as np
 
+from repro.api.opcache import cache_key
 from repro.dist.distmatrix import DistMatrix
 from repro.dist.layout import CyclicLayout
-from repro.dist.redistribute import stage_matrix, staging_plan
+from repro.dist.redistribute import staging_plan
 from repro.machine.cost import Cost, CostParams
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import ParameterError, ShapeError, require
@@ -101,6 +102,31 @@ class Request:
             total = total + staging_plan(D, target_grid, layout).cost()
         return total
 
+    def staging_breakdown(self, grid: ProcessorGrid, params: CostParams, plan):
+        """Cache-aware staging price: ``(charged, saved, targets)``.
+
+        ``plan`` is the scheduler's :class:`~repro.api.opcache.CachePlan`.
+        Each resident operand target prices at zero when a valid staged
+        copy is (or, within this same request, will be) resident on the
+        candidate subgrid, and at the full exact migration plan otherwise.
+        ``targets`` lists ``(cache key, target grid, cost, hit)`` per
+        resident operand so the scheduler can commit the decisions.
+        """
+        charged, saved = Cost.zero(), Cost.zero()
+        targets = []
+        staged_here: set = set()
+        for D, target_grid, layout in self._staging_targets(grid, params):
+            key = cache_key(D, target_grid, layout)
+            cost = staging_plan(D, target_grid, layout).cost()
+            hit = key in plan or key in staged_here
+            if hit:
+                saved = saved + cost
+            else:
+                charged = charged + cost
+                staged_here.add(key)
+            targets.append((key, target_grid, cost, hit))
+        return charged, saved, tuple(targets)
+
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         """Yield ``(resident_matrix, target_grid, target_layout)`` triples."""
         return ()
@@ -117,15 +143,9 @@ def _place(
     shape: tuple[int, int],
     label: str,
 ):
-    """Resident operands migrate (exact charge); globals place for free."""
+    """Resident operands migrate (exact charge, cache-aware); globals are free."""
     if isinstance(operand, DistMatrix):
-        require(
-            operand.machine is cluster.machine,
-            ParameterError,
-            "resident operand belongs to a different cluster's machine",
-        )
-        with cluster.machine.phase("staging"):
-            return stage_matrix(operand, grid, layout, label=label)
+        return cluster.stage_resident(operand, grid, layout, label=label)
     A = np.asarray(operand, dtype=np.float64).reshape(shape)
     return DistMatrix.from_global(cluster.machine, grid, layout, A)
 
@@ -452,10 +472,22 @@ class InvRequest(Request):
 @dataclass(kw_only=True, eq=False)
 class PreparedSolveRequest(Request):
     """Apply a :class:`~repro.trsm.prepared.PreparedTrsm`'s inverse to a new
-    right-hand-side batch: solve + update phases only (Section II-C3)."""
+    right-hand-side batch: solve + update phases only (Section II-C3).
+
+    ``L``/``Ltilde`` optionally name *cluster-hosted* copies of the factor
+    and its prepared inverse (:meth:`~repro.api.cluster.Cluster.host`).
+    When given, each placement stages them onto the assigned subgrid at
+    the exact migration charge — and the operand cache amortizes that
+    charge across a stream of solves against the same factor, which is
+    the serve workload this request type exists for.  When omitted the
+    factor travels as the solver's own state (free placement), exactly
+    the pre-cache behavior.
+    """
 
     prepared: object
     B: object
+    L: object | None = None
+    Ltilde: object | None = None
     verify: bool = True
 
     def __post_init__(self) -> None:
@@ -468,6 +500,12 @@ class PreparedSolveRequest(Request):
             f"B has {_shape_of(self.B)[0]} rows, L is {self.n} x {self.n}",
         )
         self.k = k
+        for name, M in (("L", self.L), ("Ltilde", self.Ltilde)):
+            require(
+                M is None or _shape_of(M) == (self.n, self.n),
+                ShapeError,
+                f"hosted {name} must be {self.n} x {self.n}, got {_shape_of(M) if M is not None else None}",
+            )
 
     def choice_for(self, size: int) -> TuningChoice:
         """The prepared choice on its native size; re-tuned (same ``n0`` —
@@ -497,9 +535,14 @@ class PreparedSolveRequest(Request):
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         from repro.trsm.iterative import _RowCyclicColBlocked
 
+        c = self.choice_for(grid.size)
+        grid3d = grid.reshape((c.p1, c.p1, c.p2))
+        plane_L = grid3d.plane(2, 0)
+        lay_L = CyclicLayout(c.p1, c.p1)
+        for M in (self.L, self.Ltilde):
+            if isinstance(M, DistMatrix):
+                yield M, plane_L, lay_L
         if isinstance(self.B, DistMatrix):
-            c = self.choice_for(grid.size)
-            grid3d = grid.reshape((c.p1, c.p1, c.p2))
             yield self.B, grid3d.plane(1, 0), _RowCyclicColBlocked(c.p1, c.p2)
 
     def execute(self, cluster, grid: ProcessorGrid) -> Execution:
@@ -512,12 +555,21 @@ class PreparedSolveRequest(Request):
         grid3d = grid.reshape((choice.p1, choice.p1, choice.p2))
         plane_L = grid3d.plane(2, 0)
         lay_L = CyclicLayout(choice.p1, choice.p1)
-        # The factor and its prepared inverse are the solver's own state,
-        # not live cluster data: placement is free, exactly as before.
-        Ld = DistMatrix.from_global(machine, plane_L, lay_L, prepared.L)
-        Ltilde = DistMatrix.from_global(
-            machine, plane_L, lay_L, prepared._Ltilde_global
-        )
+        # Hosted factor/inverse handles migrate (cache-amortized across the
+        # stream); otherwise they are the solver's own state — placement is
+        # free, exactly as before.
+        if self.L is not None:
+            Ld = _place(cluster, self.L, plane_L, lay_L, (n, n), "cluster.stage_L")
+        else:
+            Ld = DistMatrix.from_global(machine, plane_L, lay_L, prepared.L)
+        if self.Ltilde is not None:
+            Ltilde = _place(
+                cluster, self.Ltilde, plane_L, lay_L, (n, n), "cluster.stage_Ltilde"
+            )
+        else:
+            Ltilde = DistMatrix.from_global(
+                machine, plane_L, lay_L, prepared._Ltilde_global
+            )
         Bd = _place(
             cluster,
             self.B,

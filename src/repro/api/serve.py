@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.api.cluster import Cluster, ClusterOutcome
-from repro.api.requests import TrsmRequest
+from repro.api.requests import PreparedSolveRequest, TrsmRequest
 from repro.machine.cost import CostParams
 from repro.machine.validate import ParameterError, require
 from repro.util.randmat import random_dense, random_lower_triangular
@@ -98,4 +98,55 @@ def replay(
         if resident:
             L, B = cluster.host(L), cluster.host(B)
         cluster.submit(TrsmRequest(L=L, B=B, verify=verify, arrival=s.arrival))
+    return cluster.run()
+
+
+def replay_prepared(
+    prepared,
+    count: int,
+    p: int,
+    k: int = 8,
+    rate: float = 0.0,
+    params: CostParams | None = None,
+    seed: int = 0,
+    cache: bool = True,
+    size: int | None = None,
+    verify: bool = True,
+) -> ClusterOutcome:
+    """A stream of solves against one hosted prepared factor.
+
+    The serve workload the operand cache exists for (Raghavan's
+    selective-inversion preconditioner application): ``prepared`` (a
+    :class:`~repro.trsm.prepared.PreparedTrsm`) has inverted the factor
+    once; here its ``L`` and ``Ltilde`` are hosted on a fresh
+    ``cache``-configured Cluster and ``count`` right-hand-side batches are
+    replayed through :class:`~repro.api.PreparedSolveRequest`.  Every
+    placement stages the factor pair onto its subgrid — at the full
+    migration charge the first time a subgrid hosts them, and from the
+    staged-copy cache on repeat tenancies.  ``size`` pins every placement
+    to one subgrid size (deterministic placements for parity runs);
+    ``rate`` as in :func:`poisson_stream`.
+    """
+    require(count >= 1, ParameterError, "need at least one request")
+    rng = np.random.default_rng(seed)
+    arrivals = (
+        np.cumsum(rng.exponential(1.0 / rate, size=count))
+        if rate > 0.0
+        else np.zeros(count)
+    )
+    cluster = Cluster(p, params=params, cache=cache)
+    Lh = cluster.host(prepared.L)
+    Lth = cluster.host(prepared.Ltilde)
+    for i in range(count):
+        cluster.submit(
+            PreparedSolveRequest(
+                prepared=prepared,
+                B=random_dense(prepared.n, k, seed=seed + 31 * i + 1),
+                L=Lh,
+                Ltilde=Lth,
+                verify=verify,
+                arrival=float(arrivals[i]),
+                sizes=None if size is None else (size,),
+            )
+        )
     return cluster.run()

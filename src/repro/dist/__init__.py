@@ -6,7 +6,9 @@ The data-distribution substrate every algorithm layer builds on:
   :class:`BlockedLayout`, :class:`BlockCyclicLayout`) describing which
   global rows/columns each grid coordinate owns;
 * :mod:`repro.dist.distmatrix` — :class:`DistMatrix`, the container
-  coupling a machine, a 2D grid, a layout and per-rank blocks;
+  coupling a machine, a 2D grid, a layout and per-rank blocks, with a
+  stable ``(uid, generation)`` identity; :class:`StagedCopy`, the
+  provenance record the operand cache stores staged instances under;
 * :mod:`repro.dist.routing` — exact per-(sender, receiver) message plans
   derived from index-map intersections (:class:`End`,
   :class:`RoutingPlan`, :class:`TransitionPlan`, :func:`fuse_transitions`,
@@ -21,7 +23,7 @@ The data-distribution substrate every algorithm layer builds on:
   counts shared by the solvers and factorizations.
 """
 
-from repro.dist.distmatrix import DistMatrix
+from repro.dist.distmatrix import DistMatrix, StagedCopy
 from repro.dist.layout import (
     BlockCyclicLayout,
     BlockedLayout,
@@ -65,6 +67,7 @@ __all__ = [
     "BlockCyclicLayout",
     "expected_local_words",
     "DistMatrix",
+    "StagedCopy",
     "redistribute",
     "change_layout",
     "transpose_matrix",

@@ -18,10 +18,22 @@ as the paper's Require clauses do ("initially distributed cyclically"), and
 Construction registers each rank's block words with the machine's
 :class:`~repro.machine.memory.MemoryTracker`, so per-rank footprints of
 replicated operands show up in ``machine.memory.peak_words()``.
+
+Every instance carries a stable *identity*: a ``uid`` unique for the
+process lifetime and a ``generation`` counter bumped whenever the matrix
+is mutated through the public mutation paths (:meth:`set_local`,
+:func:`repro.dist.redistribute.route_embed`).  The pair is what the
+Cluster's operand cache (:mod:`repro.api.opcache`) keys staged copies on:
+a cached copy is valid only while its source's ``(uid, generation)`` is
+unchanged, so a mutated or re-hosted operand can never be served stale.
+Algorithms that scribble into ``blocks`` directly own those matrices
+privately and never hand them to the cache.
 """
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -33,7 +45,9 @@ from repro.machine.validate import GridError, ShapeError, require
 class DistMatrix:
     """A dense matrix distributed over a 2D processor grid by a layout."""
 
-    __slots__ = ("machine", "grid", "layout", "shape", "blocks")
+    __slots__ = ("machine", "grid", "layout", "shape", "blocks", "uid", "generation")
+
+    _uids = itertools.count()
 
     def __init__(
         self,
@@ -78,6 +92,11 @@ class DistMatrix:
             )
         for rank, block in self.blocks.items():
             machine.memory.observe(rank, float(block.size))
+        #: process-lifetime-unique identity (content/placement provenance)
+        self.uid = next(DistMatrix._uids)
+        #: mutation counter; cached staged copies of an older generation
+        #: are stale (see repro.api.opcache)
+        self.generation = 0
 
     # -- constructors -------------------------------------------------------
 
@@ -117,12 +136,25 @@ class DistMatrix:
     # -- access -------------------------------------------------------------
 
     def local(self, coord: tuple[int, int]) -> np.ndarray:
-        """The local block at grid coordinate ``coord``."""
-        return self.blocks[self.grid.rank(coord)]
+        """The local block at grid coordinate ``coord`` (read-only view).
+
+        Mutation goes through :meth:`set_local`, which bumps the
+        generation — a writable alias here would let callers mutate
+        blocks behind the generation counter's back and be served stale
+        copies from the operand cache.
+        """
+        view = self.blocks[self.grid.rank(coord)].view()
+        view.setflags(write=False)
+        return view
 
     def set_local(self, coord: tuple[int, int], block: np.ndarray) -> None:
-        """Replace the block at ``coord``; the shape must match the layout."""
-        block = np.asarray(block, dtype=np.float64)
+        """Replace the block at ``coord``; the shape must match the layout.
+
+        The block is copied in: a caller-retained alias could otherwise
+        mutate the content behind the generation counter's back (the same
+        staleness :meth:`local` is read-only to prevent).
+        """
+        block = np.array(block, dtype=np.float64)
         expected = self.layout.local_shape(coord, self.shape)
         require(
             block.shape == expected,
@@ -130,6 +162,12 @@ class DistMatrix:
             f"block at {coord} must have shape {expected}, got {block.shape}",
         )
         self.blocks[self.grid.rank(coord)] = block
+        self.mutated()
+
+    def mutated(self) -> None:
+        """Bump the generation: any cached staged copy of this matrix is
+        now stale.  Called by every public in-place mutation path."""
+        self.generation += 1
 
     def to_global(self) -> np.ndarray:
         """Assemble the global matrix (free; a verification/debug view)."""
@@ -157,3 +195,42 @@ class DistMatrix:
             f"DistMatrix(shape={self.shape}, grid={self.grid.shape}, "
             f"layout={self.layout!r})"
         )
+
+
+@dataclass
+class StagedCopy:
+    """A staged instance of a source matrix, remembering its provenance.
+
+    ``matrix`` is the staged :class:`DistMatrix` (on some subgrid/layout);
+    the record pins the source's ``(uid, generation)`` at staging time plus
+    the staged matrix's own generation, so a consumer can tell both kinds
+    of staleness apart: the *source* moved on (:meth:`valid_for` fails) or
+    the *copy itself* was scribbled on (:meth:`pristine` fails).  The
+    operand cache (:mod:`repro.api.opcache`) stores these.
+    """
+
+    matrix: DistMatrix
+    source_uid: int
+    source_generation: int
+    staged_generation: int
+
+    @classmethod
+    def of(cls, source: DistMatrix, staged: DistMatrix) -> "StagedCopy":
+        """Record ``staged`` as a copy of ``source`` as it is right now."""
+        return cls(
+            matrix=staged,
+            source_uid=source.uid,
+            source_generation=source.generation,
+            staged_generation=staged.generation,
+        )
+
+    def valid_for(self, source: DistMatrix) -> bool:
+        """True iff ``source`` is the recorded matrix, unmutated since."""
+        return (
+            source.uid == self.source_uid
+            and source.generation == self.source_generation
+        )
+
+    def pristine(self) -> bool:
+        """True iff the staged copy itself has not been mutated."""
+        return self.matrix.generation == self.staged_generation

@@ -250,6 +250,7 @@ def route_embed(
     )
     chain.charge(target.machine, label)
     chain.apply(sub.blocks, out=target.blocks)
+    target.mutated()
     return target
 
 

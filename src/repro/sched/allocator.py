@@ -66,6 +66,13 @@ class SubgridAllocator:
         )
         self._root = _Node(root)
         self._leases: dict[ProcessorGrid, _Node] = {}
+        #: optional hook called with every block *destroyed* by the pool —
+        #: a free block split down to serve a smaller lease, or a buddy
+        #: pair coalesced back into its parent on release.  The operand
+        #: cache subscribes here: a staged copy lives exactly as long as
+        #: the block it was staged onto, so destroying the block evicts it
+        #: (see repro.api.opcache).
+        self.on_destroy = None
 
     # -- queries ------------------------------------------------------------
 
@@ -136,6 +143,7 @@ class SubgridAllocator:
         if node is None:
             return None
         while node.grid.size > size:
+            self._destroyed(node.grid)
             node = node.split()[0]
         node.allocated = True
         self._leases[node.grid] = node
@@ -149,9 +157,21 @@ class SubgridAllocator:
         parent = node.parent
         while parent is not None and all(c.free for c in parent.children):
             parent.children = None
+            self._destroyed(parent.grid)
             parent = parent.parent
 
     # -- internals ----------------------------------------------------------
+
+    def _destroyed(self, grid: ProcessorGrid) -> None:
+        """Notify the subscriber that a block stopped existing as a unit.
+
+        A coalesce reports the merged parent (it covers both destroyed
+        children); a split reports the block being split.  Subscribers
+        evict by rank intersection, so reporting the covering block is
+        sufficient in both directions.
+        """
+        if self.on_destroy is not None:
+            self.on_destroy(grid)
 
     def _fit(self, size: int) -> _Node | None:
         """Smallest free block with ``size`` ranks or more (DFS, first wins)."""

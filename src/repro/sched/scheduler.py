@@ -9,7 +9,16 @@ The scheduler is an event-driven list scheduler over the modeled costs:
   *staging* is the exact :mod:`repro.dist.routing` migration cost of the
   request's resident operands onto the concrete candidate subgrid
   (:meth:`SubgridAllocator.preview` exposes it before committing) and
-  *execution* is the request's closed-form model on that size;
+  *execution* is the request's closed-form model on that size.  With an
+  operand cache (:mod:`repro.api.opcache`) the staging price is
+  *cache-aware*: a target whose staged copy is still resident on the
+  candidate subgrid prices at zero, so LPT packing actively prefers
+  subgrid affinity for streams of requests over the same operands.  The
+  scheduler simulates the cache forward (a :class:`~repro.api.opcache.
+  CachePlan`): committed placements add their staged keys, allocator
+  destroy events (coalesce/re-split) evict, and both the per-target
+  decisions and the eviction times are recorded on the result so
+  execution replays the exact same hits;
 * a placement is scored ``max(finish, area bound)`` where the *area
   bound* is ``now + (remaining queue's rank-seconds + this placement's
   rank-seconds) / capacity`` — a finish-time-greedy rule would grab the
@@ -67,6 +76,13 @@ class Assignment:
     finish: float
     staging: Cost = field(default_factory=Cost.zero)
     modeled: Cost = field(default_factory=Cost.zero)
+    #: cache-aware staging: the migration cost *not* paid because valid
+    #: staged copies were resident, and the per-resident-target decision
+    #: counts the pricing committed to (execution must reproduce them)
+    staging_saved: Cost = field(default_factory=Cost.zero)
+    staging_saved_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -75,6 +91,10 @@ class Schedule:
 
     assignments: list[Assignment]
     capacity: int
+    #: allocator destroy events ``(modeled time, block grid)`` in event
+    #: order — the Cluster replays these against the real operand cache
+    #: so measured evictions mirror the modeled ones
+    evictions: list[tuple[float, ProcessorGrid]] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -96,11 +116,22 @@ class Schedule:
 
 
 class Scheduler:
-    """Event-driven LPT packing of requests onto a :class:`SubgridAllocator`."""
+    """Event-driven LPT packing of requests onto a :class:`SubgridAllocator`.
 
-    def __init__(self, allocator: SubgridAllocator, params: CostParams | None = None):
+    ``cache`` (an :class:`~repro.api.opcache.OperandCache`, optional) makes
+    staging prices cache-aware; without one the scheduler prices every
+    placement at the full migration cost, exactly as before.
+    """
+
+    def __init__(
+        self,
+        allocator: SubgridAllocator,
+        params: CostParams | None = None,
+        cache=None,
+    ):
         self.allocator = allocator
         self.params = params or CostParams()
+        self.cache = cache
 
     def schedule(self, requests: Sequence[SchedulableRequest]) -> Schedule:
         """Pack ``requests``; the pool is drained again when this returns."""
@@ -115,6 +146,15 @@ class Scheduler:
         running: list[tuple[float, int, Assignment]] = []  # (finish, seq, a)
         out: list[Assignment] = []
         now, seq = 0.0, 0
+        view = self.cache.plan() if self.cache is not None else None
+        evictions: list[tuple[float, ProcessorGrid]] = []
+
+        def staging_for(req: SchedulableRequest, grid: ProcessorGrid):
+            """(charged, saved, per-target decisions) for one placement."""
+            breakdown = getattr(req, "staging_breakdown", None)
+            if view is None or breakdown is None:
+                return req.staging_cost(grid, params), Cost.zero(), ()
+            return breakdown(grid, params, view)
 
         def exec_seconds(req: SchedulableRequest, size: int) -> float:
             return req.modeled_cost(size, params).time(params)
@@ -126,93 +166,119 @@ class Scheduler:
                 default=0.0,
             )
 
-        while pending or running:
-            placed = True
-            while placed:
-                placed = False
-                arrived = [it for it in pending if it[1].arrival <= now]
-                # LPT: longest best-case execution first.
-                arrived.sort(
-                    key=lambda it: -min(
-                        (exec_seconds(it[1], s) for s in it[1].candidate_sizes(alloc.capacity)),
-                        default=0.0,
-                    )
-                )
-                for index, req in arrived:
-                    rest_area = sum(
-                        min_area(r) for j, r in pending if j != index
-                    )
-                    best: tuple[float, float, int, Cost, Cost] | None = None
-                    for size in req.candidate_sizes(alloc.capacity):
-                        grid = alloc.preview(size)
-                        if grid is None:
-                            continue
-                        staging = req.staging_cost(grid, params)
-                        modeled = req.modeled_cost(size, params)
-                        duration = staging.time(params) + modeled.time(params)
-                        finish = now + duration
-                        # Score the placement by its own finish AND the area
-                        # bound it leaves the rest of the queue with.
-                        score = max(
-                            finish, now + (rest_area + size * duration) / alloc.capacity
+        def on_destroy(grid: ProcessorGrid) -> None:
+            # A block stopped existing: its staged copies die with it, in
+            # the planned view now and (via the recorded event time) in
+            # the real cache when execution reaches this point.
+            view.evict_grid(grid)
+            evictions.append((now, grid))
+
+        prev_hook = alloc.on_destroy
+        if view is not None:
+            alloc.on_destroy = on_destroy
+        try:
+            while pending or running:
+                placed = True
+                while placed:
+                    placed = False
+                    arrived = [it for it in pending if it[1].arrival <= now]
+                    # LPT: longest best-case execution first.
+                    arrived.sort(
+                        key=lambda it: -min(
+                            (exec_seconds(it[1], s) for s in it[1].candidate_sizes(alloc.capacity)),
+                            default=0.0,
                         )
-                        # Strictly-better score wins; near-ties (1 ppm) take
-                        # the smaller subgrid to keep capacity for the queue.
-                        if best is None or score < best[0] * (1.0 - 1e-6):
-                            best = (score, finish, size, staging, modeled)
-                        elif score <= best[0] * (1.0 + 1e-6) and size < best[2]:
-                            best = (score, finish, size, staging, modeled)
-                    if best is None:
-                        continue
-                    _, finish, size, staging, modeled = best
-                    grid = alloc.allocate(size)
-                    assert grid is not None  # preview said it fits
-                    a = Assignment(
-                        index=index,
-                        request=req,
-                        grid=grid,
-                        size=size,
-                        start=now,
-                        staging_seconds=staging.time(params),
-                        exec_seconds=modeled.time(params),
-                        finish=finish,
-                        staging=staging,
-                        modeled=modeled,
                     )
-                    heapq.heappush(running, (finish, seq, a))
-                    seq += 1
-                    out.append(a)
-                    pending.remove((index, req))
-                    placed = True
-                    break  # re-rank the queue against the shrunken pool
-            # Advance to the next event: the earliest running finish OR the
-            # next arrival, whichever comes first — a request arriving while
-            # others run must be considered as soon as it arrives, not when
-            # the next tenant happens to finish (free capacity may be idle).
-            next_arrival = min(
-                (it[1].arrival for it in pending if it[1].arrival > now),
-                default=None,
-            )
-            if running:
-                next_finish = running[0][0]
-                if next_arrival is not None and next_arrival < next_finish:
+                    for index, req in arrived:
+                        rest_area = sum(
+                            min_area(r) for j, r in pending if j != index
+                        )
+                        best = None
+                        for size in req.candidate_sizes(alloc.capacity):
+                            grid = alloc.preview(size)
+                            if grid is None:
+                                continue
+                            staging, saved, targets = staging_for(req, grid)
+                            modeled = req.modeled_cost(size, params)
+                            duration = staging.time(params) + modeled.time(params)
+                            finish = now + duration
+                            # Score the placement by its own finish AND the area
+                            # bound it leaves the rest of the queue with.
+                            score = max(
+                                finish, now + (rest_area + size * duration) / alloc.capacity
+                            )
+                            # Strictly-better score wins; near-ties (1 ppm) take
+                            # the smaller subgrid to keep capacity for the queue.
+                            if (
+                                best is None
+                                or score < best[0] * (1.0 - 1e-6)
+                                or (score <= best[0] * (1.0 + 1e-6) and size < best[2])
+                            ):
+                                best = (score, finish, size, staging, modeled, saved, targets)
+                        if best is None:
+                            continue
+                        _, finish, size, staging, modeled, saved, targets = best
+                        grid = alloc.allocate(size)
+                        assert grid is not None  # preview said it fits
+                        if view is not None:
+                            for key, target_grid, _, hit in targets:
+                                if not hit:
+                                    view.add(key, target_grid)
+                        a = Assignment(
+                            index=index,
+                            request=req,
+                            grid=grid,
+                            size=size,
+                            start=now,
+                            staging_seconds=staging.time(params),
+                            exec_seconds=modeled.time(params),
+                            finish=finish,
+                            staging=staging,
+                            modeled=modeled,
+                            staging_saved=saved,
+                            staging_saved_seconds=saved.time(params),
+                            cache_hits=sum(1 for t in targets if t[3]),
+                            cache_misses=sum(1 for t in targets if not t[3]),
+                        )
+                        heapq.heappush(running, (finish, seq, a))
+                        seq += 1
+                        out.append(a)
+                        pending.remove((index, req))
+                        placed = True
+                        break  # re-rank the queue against the shrunken pool
+                # Advance to the next event: the earliest running finish OR the
+                # next arrival, whichever comes first — a request arriving while
+                # others run must be considered as soon as it arrives, not when
+                # the next tenant happens to finish (free capacity may be idle).
+                next_arrival = min(
+                    (it[1].arrival for it in pending if it[1].arrival > now),
+                    default=None,
+                )
+                if running:
+                    next_finish = running[0][0]
+                    if next_arrival is not None and next_arrival < next_finish:
+                        now = next_arrival
+                    else:
+                        finish, _, done = heapq.heappop(running)
+                        # Advance the clock before releasing: a coalesce
+                        # eviction triggered by this release must be stamped
+                        # with the time the tenancy actually ended.
+                        now = max(now, finish)
+                        alloc.release(done.grid)
+                elif next_arrival is not None:
+                    # Nothing running and nothing placeable has arrived yet.
                     now = next_arrival
-                else:
-                    finish, _, done = heapq.heappop(running)
-                    alloc.release(done.grid)
-                    now = max(now, finish)
-            elif next_arrival is not None:
-                # Nothing running and nothing placeable has arrived yet.
-                now = next_arrival
-            require(
-                not (not running and pending and all(it[1].arrival <= now for it in pending)
-                     and not any(
-                         alloc.can_allocate(s)
-                         for it in pending
-                         for s in it[1].candidate_sizes(alloc.capacity)
-                     )),
-                ParameterError,
-                "a pending request fits no allocatable subgrid size",
-            )
+                require(
+                    not (not running and pending and all(it[1].arrival <= now for it in pending)
+                         and not any(
+                             alloc.can_allocate(s)
+                             for it in pending
+                             for s in it[1].candidate_sizes(alloc.capacity)
+                         )),
+                    ParameterError,
+                    "a pending request fits no allocatable subgrid size",
+                )
+        finally:
+            alloc.on_destroy = prev_hook
         out.sort(key=lambda a: (a.start, a.index))
-        return Schedule(assignments=out, capacity=alloc.capacity)
+        return Schedule(assignments=out, capacity=alloc.capacity, evictions=evictions)

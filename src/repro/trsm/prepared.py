@@ -106,6 +106,18 @@ class PreparedTrsm:
         self.last_solve_time: float | None = None
         self.solves: int = 0
 
+    @property
+    def Ltilde(self) -> np.ndarray:
+        """The prepared inverse (block-inverted factor) as a global matrix.
+
+        Host this next to ``L`` on a shared Cluster
+        (``cluster.host(solver.Ltilde)``) to serve a stream of
+        :class:`repro.api.PreparedSolveRequest` s against one resident
+        factor — the operand cache then amortizes the factor migration
+        across placements on the same subgrid.
+        """
+        return self._Ltilde_global
+
     def solve(self, B: np.ndarray, verify: bool = True) -> np.ndarray:
         """Apply ``inv(L)`` to a new right-hand side batch.
 

@@ -78,6 +78,62 @@ class TestAmortization:
             solver.amortized_time(5)
 
 
+class TestCacheParity:
+    """The compatibility wrappers are single-request Clusters, and a
+    single-request Cluster never hits the operand cache — so the staged-copy
+    cache (PR 4) must leave them bit-identical and cost-identical."""
+
+    def test_solve_matches_explicit_cache_off_cluster(self):
+        from repro.api import Cluster, PreparedSolveRequest
+
+        L = random_lower_triangular(32, seed=11)
+        solver = PreparedTrsm(L, p=4, k_hint=8, params=UNIT, n0=8)
+        B = random_dense(32, 8, seed=12)
+        X = solver.solve(B)
+
+        cluster = Cluster(4, params=UNIT, cache=False)
+        rid = cluster.submit(PreparedSolveRequest(prepared=solver, B=B, sizes=(4,)))
+        rec = cluster.run().record(rid)
+        assert rec.value.tobytes() == X.tobytes()
+        assert cluster.machine.critical_path() == solver.last_solve_cost
+        assert cluster.machine.time() == solver.last_solve_time
+
+    def test_single_request_cluster_cache_on_off_identical(self):
+        from repro.api import Cluster, TrsmRequest
+
+        L = random_lower_triangular(48, seed=13)
+        B = random_dense(48, 8, seed=14)
+        results = {}
+        for cache in (True, False):
+            cluster = Cluster(4, params=UNIT, cache=cache)
+            rid = cluster.submit(
+                TrsmRequest(L=cluster.host(L), B=cluster.host(B))
+            )
+            outcome = cluster.run()
+            assert outcome.staging_saved_seconds == 0.0
+            assert outcome.staging_hits == 0
+            results[cache] = (
+                outcome.record(rid).value.tobytes(),
+                cluster.machine.critical_path(),
+                cluster.machine.time(),
+            )
+        assert results[True] == results[False]
+
+    def test_trsm_wrapper_unchanged_by_cache(self):
+        from repro import trsm
+        from repro.api import Cluster, TrsmRequest
+
+        L = random_lower_triangular(32, seed=15)
+        B = random_dense(32, 4, seed=16)
+        res = trsm(L, B, p=4, params=UNIT)  # wrapper (default cache-on Cluster)
+        cluster = Cluster(4, params=UNIT, cache=False)  # explicit PR-3 behavior
+        rid = cluster.submit(TrsmRequest(L=L, B=B, sizes=(4,)))
+        rec = cluster.run().record(rid)
+        assert res.X.tobytes() == rec.value.tobytes()
+        assert cluster.machine.critical_path() == res.measured
+        assert cluster.machine.time() == res.time
+
+
 class TestValidation:
     def test_bad_p(self):
         with pytest.raises(ParameterError):
