@@ -1,17 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke lint selfcheck solve serve clean
+.PHONY: test test-fast bench-smoke bench-policies lint selfcheck solve serve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Fail-fast subset: the dist-layer contract tests.
+## Fail-fast subset: the dist-layer contracts plus the scheduler and
+## packing-policy contracts (allocator invariants, LPT parity goldens,
+## backfill no-delay, optimal ground truth).
 test-fast:
 	$(PYTHON) -m pytest -x -q tests/test_layout.py tests/test_distmatrix.py \
 		tests/test_redistribute.py tests/test_triangular_helpers.py \
-		tests/test_row_block.py tests/test_layout_equivalences.py
+		tests/test_row_block.py tests/test_layout_equivalences.py \
+		tests/test_sched.py tests/test_policies.py
 
 ## Tiny routing + serve sweeps: fails fast on routing-cost or scheduler
 ## regressions (serve asserts packed makespan < serial full grid).
@@ -19,9 +22,17 @@ bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest -x -q benchmarks/bench_redistribute.py \
 		benchmarks/bench_serve.py
 
-## Ruff lint (CI runs this; requires ruff on PATH).
+## Full-fat serve + policy-comparison sweep: gates backfill <= LPT (with
+## the mixed-stream strict win), LPT <= 1.5x the exhaustive optimum on
+## small queues, and the opcache reuse floor; writes
+## benchmarks/results/BENCH_serve.json (the CI bench job uploads it).
+bench-policies:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_serve.py
+
+## Ruff lint + formatting check (CI runs both; requires ruff on PATH).
 lint:
 	ruff check src tests benchmarks
+	ruff format --check src tests benchmarks
 
 ## Acceptance battery on the simulated machine.
 selfcheck:

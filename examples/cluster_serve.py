@@ -19,6 +19,7 @@ from repro import (
     TrsmRequest,
 )
 from repro.analysis.serve import serve_report
+from repro.api.serve import replay_mixed
 from repro.util.randmat import random_dense, random_lower_triangular
 
 
@@ -53,6 +54,17 @@ def main() -> int:
     print(serve_report(outcome))
     speedup = outcome.speedup_vs_serial()
     print(f"\npacked {count} requests at {speedup:.2f}x the serial rate")
+
+    # The packing rule is pluggable: the mixed small/large pinned stream
+    # is where conservative backfilling strictly beats greedy LPT.
+    lpt = replay_mixed(p=16, policy="lpt", smalls=8)
+    backfill = replay_mixed(p=16, policy="backfill", smalls=8)
+    win = (1.0 - backfill.modeled_makespan / lpt.modeled_makespan) * 100.0
+    print(
+        f"mixed pinned stream: lpt {lpt.modeled_makespan * 1e6:.1f} us, "
+        f"backfill {backfill.modeled_makespan * 1e6:.1f} us "
+        f"({win:+.1f}% makespan win)"
+    )
     return 0
 
 

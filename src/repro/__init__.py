@@ -89,7 +89,16 @@ from repro.api import (
     RequestRecord,
     TrsmRequest,
 )
-from repro.sched import Schedule, Scheduler, SubgridAllocator
+from repro.sched import (
+    BackfillPolicy,
+    LPTPolicy,
+    OptimalPolicy,
+    PackingPolicy,
+    Schedule,
+    Scheduler,
+    SubgridAllocator,
+    make_policy,
+)
 from repro.factor import cholesky_cost, cholesky_factor
 from repro.tuning import (
     TrsmRegime,
@@ -118,6 +127,11 @@ __all__ = [
     "SubgridAllocator",
     "Scheduler",
     "Schedule",
+    "PackingPolicy",
+    "LPTPolicy",
+    "BackfillPolicy",
+    "OptimalPolicy",
+    "make_policy",
     "Cost",
     "CostParams",
     "HARDWARE_PRESETS",

@@ -62,7 +62,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import HARDWARE_PRESETS
     from repro.api.serve import poisson_stream, replay
-    from repro.analysis.serve import serve_report
+    from repro.analysis.serve import policy_gap_report, serve_report
 
     params = HARDWARE_PRESETS[args.machine]
     requests_spec = poisson_stream(
@@ -72,12 +72,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         k_range=(args.k_min, args.k_max),
         seed=args.seed,
     )
+    if args.gap:
+        print(
+            policy_gap_report(
+                requests_spec,
+                p=args.p,
+                params=params,
+                verify=not args.no_verify,
+            )
+        )
+        return 0
     outcome = replay(
         requests_spec,
         p=args.p,
         params=params,
         resident=not args.no_resident,
         verify=not args.no_verify,
+        policy=args.policy,
     )
     print(serve_report(outcome))
     return 0
@@ -198,6 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--k-max", type=int, default=64)
     p_serve.add_argument("--machine", default="default")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--policy",
+        choices=["lpt", "backfill", "optimal"],
+        default="lpt",
+        help="packing policy (optimal is exhaustive: queues of <= 8 only)",
+    )
+    p_serve.add_argument(
+        "--gap",
+        action="store_true",
+        help="replay the stream under every policy and print the gap report",
+    )
     p_serve.add_argument(
         "--no-resident",
         action="store_true",

@@ -23,10 +23,18 @@ from repro.analysis.tables import (
     mm_line_table,
 )
 from repro.analysis.report import format_table
-from repro.analysis.serve import occupancy_table, serve_report, throughput_report
+from repro.analysis.serve import (
+    occupancy_table,
+    policy_gap_data,
+    policy_gap_report,
+    serve_report,
+    throughput_report,
+)
 
 __all__ = [
     "occupancy_table",
+    "policy_gap_data",
+    "policy_gap_report",
     "serve_report",
     "throughput_report",
     "fit_power_law",

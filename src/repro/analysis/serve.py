@@ -7,10 +7,16 @@ packing a request queue onto the subgrid pool — as plain-text artifacts:
   modeled start/finish), migration charge, modeled vs measured cost;
 * :func:`throughput_report` — the aggregate view: modeled and measured
   makespan, the serial full-grid baseline the scheduler is judged
-  against, pool occupancy and request throughput.
+  against, pool occupancy and request throughput;
+* :func:`policy_gap_report` — the packing-policy comparison: one stream
+  replayed under every policy (cache off, so the heuristics are
+  apples-to-apples with the cache-incompatible exhaustive optimum), with
+  per-policy makespan/occupancy/throughput and the %-above-optimal gap
+  on queues small enough for :class:`~repro.sched.OptimalPolicy`.
 
-The functions are duck-typed over the outcome object (no import of
-:mod:`repro.api`), so they also render hand-built schedules in tests.
+The rendering functions are duck-typed over the outcome object (no
+import of :mod:`repro.api` at module scope), so they also render
+hand-built schedules in tests.
 """
 
 from __future__ import annotations
@@ -82,3 +88,93 @@ def throughput_report(outcome) -> str:
 def serve_report(outcome) -> str:
     """The full artifact: occupancy table plus the aggregate summary."""
     return occupancy_table(outcome) + "\n\n" + throughput_report(outcome)
+
+
+def policy_gap_data(
+    stream,
+    p: int,
+    params=None,
+    policies: tuple[str, ...] = ("lpt", "backfill", "optimal"),
+    optimal_max: int = 8,
+    verify: bool = False,
+) -> dict:
+    """Replay ``stream`` under every policy; return the comparison as data.
+
+    Every replay is uncached (``cache=False``) so the heuristics pay the
+    same staging prices the pre-planning optimum does.  ``"optimal"`` is
+    skipped (entry ``None``) on queues longer than ``optimal_max`` — the
+    exhaustive search is exponential in the queue length.  The result is
+    JSON-ready: per-policy ``makespan_seconds`` / ``occupancy`` /
+    ``throughput_rps``, plus ``gap_vs_optimal_pct`` (how far each
+    heuristic sits above the ground-truth makespan) when the optimum ran.
+    """
+    from repro.api.serve import replay
+
+    results: dict[str, dict | None] = {}
+    for name in policies:
+        if name == "optimal" and len(stream) > optimal_max:
+            results[name] = None
+            continue
+        outcome = replay(
+            stream, p=p, params=params, verify=verify, policy=name, cache=False
+        )
+        results[name] = {
+            "makespan_seconds": outcome.modeled_makespan,
+            "occupancy": outcome.occupancy,
+            "throughput_rps": outcome.throughput(),
+        }
+    gaps: dict[str, float | None] = {}
+    optimal = results.get("optimal")
+    for name, res in results.items():
+        if name == "optimal" or res is None or optimal is None:
+            gaps[name] = None
+        elif optimal["makespan_seconds"] <= 0.0:
+            gaps[name] = 0.0
+        else:
+            gaps[name] = (
+                res["makespan_seconds"] / optimal["makespan_seconds"] - 1.0
+            ) * 100.0
+    return {
+        "p": p,
+        "requests": len(stream),
+        "policies": results,
+        "gap_vs_optimal_pct": gaps,
+    }
+
+
+def policy_gap_report(
+    stream,
+    p: int,
+    params=None,
+    policies: tuple[str, ...] = ("lpt", "backfill", "optimal"),
+    optimal_max: int = 8,
+    verify: bool = False,
+) -> str:
+    """Render :func:`policy_gap_data` as the gap-report table."""
+    data = policy_gap_data(
+        stream, p, params=params, policies=policies, optimal_max=optimal_max,
+        verify=verify,
+    )
+    rows = []
+    for name, res in data["policies"].items():
+        if res is None:
+            rows.append([name, "n/a (queue too long)", "-", "-", "-"])
+            continue
+        gap = data["gap_vs_optimal_pct"].get(name)
+        rows.append(
+            [
+                name,
+                f"{res['makespan_seconds'] * 1e6:.2f}",
+                f"{res['occupancy'] * 100.0:.1f}",
+                f"{res['throughput_rps'] / 1e3:.1f}",
+                "-" if gap is None else f"{gap:+.2f}",
+            ]
+        )
+    return format_table(
+        ["policy", "makespan us", "occupancy %", "krps", "vs optimal %"],
+        rows,
+        title=(
+            f"Packing-policy gap report ({data['requests']} requests, "
+            f"p={data['p']}, cache off)"
+        ),
+    )

@@ -6,6 +6,10 @@ simulated :class:`~repro.machine.machine.Machine` and a
 requests (:mod:`repro.api.requests`) are queued with :meth:`submit`;
 :meth:`run` packs the queue onto disjoint subgrids with the
 :class:`~repro.sched.Scheduler` and replays the packing on the machine.
+The packing decision rule is pluggable (``policy="lpt"`` greedy LPT, the
+default; ``"backfill"`` conservative no-delay backfilling; ``"optimal"``
+exhaustive ground truth for queues of ≤ 8 — see
+:mod:`repro.sched.policies`).
 
 Because a charge only advances the clocks of the ranks it touches, requests
 executed on disjoint subgrids overlap in simulated time exactly as the
@@ -65,6 +69,7 @@ from repro.machine.cost import Cost, CostParams
 from repro.machine.machine import Machine
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import ParameterError, require
+from repro.sched.policies import PackingPolicy, make_policy
 from repro.sched.scheduler import Scheduler
 from repro.util.mathutil import is_power_of_two
 
@@ -107,6 +112,8 @@ class ClusterOutcome:
     measured_makespan: float
     occupancy: float
     serial_seconds: float
+    #: name of the packing policy that produced the schedule
+    policy: str = "lpt"
     #: modeled migration seconds the operand cache saved across the run
     staging_saved_seconds: float = 0.0
     #: resident-operand stagings served from / missing the cache
@@ -154,6 +161,7 @@ class Cluster:
         collectives: str = "butterfly",
         trace: bool = False,
         cache: bool = True,
+        policy: PackingPolicy | str | None = None,
     ):
         require(
             is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}"
@@ -163,13 +171,21 @@ class Cluster:
         self.machine = Machine(
             self.p, params=self.params, trace=trace, collectives=collectives
         )
+        #: the packing decision rule ("lpt", "backfill", "optimal", or a
+        #: PackingPolicy instance; see repro.sched.policies)
+        self.policy = make_policy(policy)
         #: the quadrant pool over all ranks (repro.sched.SubgridAllocator)
         self.pool = self.machine.grid_pool()
         #: the data plane: hosted operands live here in a cyclic layout
         self.plane = self.pool.root_grid
         self.plane_layout = CyclicLayout(*self.plane.shape)
-        #: staged-copy reuse across requests (None = uncached PR-3 behavior)
-        self.opcache: OperandCache | None = OperandCache() if cache else None
+        #: staged-copy reuse across requests (None = uncached PR-3
+        #: behavior).  A pre-planning policy (OptimalPolicy) must see at
+        #: commit time the exact prices it planned with, so it forces the
+        #: cache off.
+        self.opcache: OperandCache | None = (
+            OperandCache() if cache and not self.policy.requires_uncached else None
+        )
         self._queue: list[Request] = []
         self._next_rid = 0
         self._exec_hits = 0
@@ -267,7 +283,9 @@ class Cluster:
             # priced as hits (the first allocation's splits would destroy
             # them mid-run and diverge the plan from the measurement).
             self.opcache.evict_grid(self.pool.root_grid)
-        schedule = Scheduler(self.pool, self.params, cache=self.opcache).schedule(queue)
+        schedule = Scheduler(
+            self.pool, self.params, cache=self.opcache, policy=self.policy
+        ).schedule(queue)
         require(
             self.pool.drained(),
             ParameterError,
@@ -345,6 +363,7 @@ class Cluster:
             measured_makespan=self.machine.time(),
             occupancy=schedule.occupancy(),
             serial_seconds=serial,
+            policy=schedule.policy,
             staging_saved_seconds=sum(a.staging_saved_seconds for a in schedule.assignments),
             staging_hits=sum(a.cache_hits for a in schedule.assignments),
             staging_misses=sum(a.cache_misses for a in schedule.assignments),

@@ -83,21 +83,86 @@ def replay(
     params: CostParams | None = None,
     resident: bool = True,
     verify: bool = True,
+    policy=None,
+    cache: bool = True,
 ) -> ClusterOutcome:
     """Submit a stream to a fresh Cluster and run it to completion.
 
     ``resident=True`` hosts every operand on the data plane first, so each
     placement is charged the exact migration plan; ``resident=False``
     passes globals (free Require-clause placement) — useful to isolate the
-    scheduling gain from the migration cost.
+    scheduling gain from the migration cost.  ``policy`` selects the
+    packing rule (``"lpt"``/``"backfill"``/``"optimal"``; see
+    :mod:`repro.sched.policies`) and ``cache=False`` disables the staged-
+    copy operand cache — the gap report runs every policy uncached so the
+    comparison is apples-to-apples with the (cache-incompatible) optimum.
     """
-    cluster = Cluster(p, params=params)
+    cluster = Cluster(p, params=params, cache=cache, policy=policy)
     for s in stream:
         L = random_lower_triangular(s.n, seed=s.seed)
         B = random_dense(s.n, s.k, seed=s.seed + 1)
         if resident:
             L, B = cluster.host(L), cluster.host(B)
         cluster.submit(TrsmRequest(L=L, B=B, verify=verify, arrival=s.arrival))
+    return cluster.run()
+
+
+def replay_mixed(
+    p: int,
+    params: CostParams | None = None,
+    policy=None,
+    cache: bool = False,
+    smalls: int = 10,
+    n_small: int = 64,
+    k_small: int = 8,
+    n_big: int = 256,
+    k_big: int = 32,
+    stagger: float = 2.0e-5,
+    big_arrival: float = 5e-6,
+    verify: bool = False,
+    seed: int = 0,
+) -> ClusterOutcome:
+    """The mixed small/large serving scenario backfilling exists for.
+
+    A stream of small solves pinned to quarter subgrids keeps the pool
+    busy (the first four arrive at t = 0, the rest every ``stagger``
+    seconds), and one large solve pinned to the full grid arrives just
+    after the pool fills.  Greedy LPT keeps placing arriving smalls in
+    the freed blocks, so the large solve — which needs *all* blocks free
+    at once — starves behind the stream; conservative backfilling
+    reserves its earliest start and only admits smalls that finish by
+    the reservation, so the pool drains and the large solve runs.  This
+    is the paper's selective-inversion serving mix (small preconditioner
+    applications interleaved with occasional large solves), and the
+    stream ``benchmarks/bench_serve.py`` gates the backfill-vs-LPT win
+    on.
+    """
+    require(smalls >= 5, ParameterError, "the mixed stream needs >= 5 smalls")
+    cluster = Cluster(p, params=params, cache=cache, policy=policy)
+    for i in range(smalls):
+        arrival = 0.0 if i < 4 else (i - 3) * stagger
+        L = random_lower_triangular(n_small, seed=seed + 100 + i)
+        B = random_dense(n_small, k_small, seed=seed + 200 + i)
+        cluster.submit(
+            TrsmRequest(
+                L=cluster.host(L),
+                B=cluster.host(B),
+                verify=verify,
+                arrival=arrival,
+                sizes=(p // 4,),
+            )
+        )
+    Lb = random_lower_triangular(n_big, seed=seed + 1)
+    Bb = random_dense(n_big, k_big, seed=seed + 2)
+    cluster.submit(
+        TrsmRequest(
+            L=cluster.host(Lb),
+            B=cluster.host(Bb),
+            verify=verify,
+            arrival=big_arrival,
+            sizes=(p,),
+        )
+    )
     return cluster.run()
 
 
@@ -112,6 +177,7 @@ def replay_prepared(
     cache: bool = True,
     size: int | None = None,
     verify: bool = True,
+    policy=None,
 ) -> ClusterOutcome:
     """A stream of solves against one hosted prepared factor.
 
@@ -134,7 +200,7 @@ def replay_prepared(
         if rate > 0.0
         else np.zeros(count)
     )
-    cluster = Cluster(p, params=params, cache=cache)
+    cluster = Cluster(p, params=params, cache=cache, policy=policy)
     Lh = cluster.host(prepared.L)
     Lth = cluster.host(prepared.Ltilde)
     for i in range(count):

@@ -9,13 +9,38 @@ front-end schedules arbitrary request queues with:
 * :mod:`repro.sched.allocator` — :class:`SubgridAllocator`, a power-of-two
   quadrant pool over one root grid (buddy split/coalesce built on
   :meth:`~repro.machine.topology.ProcessorGrid.halves`);
-* :mod:`repro.sched.scheduler` — :class:`Scheduler`, event-driven LPT
-  packing of heterogeneous requests onto the pool, pricing each candidate
-  placement with the request's closed-form cost model plus the exact
-  :mod:`repro.dist.routing` migration cost of staging its operands.
+* :mod:`repro.sched.scheduler` — :class:`Scheduler`, the event-driven
+  packing loop: it prices each candidate placement with the request's
+  closed-form cost model plus the exact :mod:`repro.dist.routing`
+  migration cost of staging its operands, and replays the cache plan and
+  eviction timeline;
+* :mod:`repro.sched.policies` — the pluggable decision rules:
+  :class:`LPTPolicy` (greedy longest-first, the default),
+  :class:`BackfillPolicy` (conservative no-delay backfilling), and
+  :class:`OptimalPolicy` (exhaustive branch-and-bound ground truth for
+  small queues).
 """
 
 from repro.sched.allocator import SubgridAllocator
+from repro.sched.policies import (
+    POLICIES,
+    BackfillPolicy,
+    LPTPolicy,
+    OptimalPolicy,
+    PackingPolicy,
+    make_policy,
+)
 from repro.sched.scheduler import Assignment, Schedule, Scheduler
 
-__all__ = ["SubgridAllocator", "Assignment", "Schedule", "Scheduler"]
+__all__ = [
+    "SubgridAllocator",
+    "Assignment",
+    "Schedule",
+    "Scheduler",
+    "PackingPolicy",
+    "LPTPolicy",
+    "BackfillPolicy",
+    "OptimalPolicy",
+    "POLICIES",
+    "make_policy",
+]

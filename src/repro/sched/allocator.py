@@ -149,6 +149,52 @@ class SubgridAllocator:
         self._leases[node.grid] = node
         return node.grid
 
+    def lease_exact(self, grid: ProcessorGrid) -> ProcessorGrid:
+        """Lease a *specific* block, splitting down along its path.
+
+        The buddy tree is canonical in its lease set — splits exist only
+        on the paths to leased blocks, everything else is coalesced — so
+        re-leasing another pool's exact grids reconstructs that pool's
+        state.  The hole-preview machinery is built on this: policies
+        :meth:`clone` the pool, release and re-lease freely to answer
+        "when would this fit?", and the real pool's destroy hook never
+        fires.  Raises when ``grid`` is not a reachable block of this
+        pool or overlaps an existing lease.
+        """
+        target = set(grid.ranks())
+        node = self._root
+        while set(node.grid.ranks()) != target:
+            require(
+                not node.allocated and target < set(node.grid.ranks()),
+                ParameterError,
+                f"{grid!r} is not a free block of this pool",
+            )
+            if node.children is None:
+                self._destroyed(node.grid)
+                node.split()
+            lo, hi = node.children
+            node = lo if target <= set(lo.grid.ranks()) else hi
+        require(
+            node.free,
+            ParameterError,
+            f"{grid!r} is not a free block of this pool",
+        )
+        node.allocated = True
+        self._leases[node.grid] = node
+        return node.grid
+
+    def clone(self) -> "SubgridAllocator":
+        """A detached copy: same root, same leases, no destroy hook.
+
+        The scheduler's policies simulate against clones (reservation
+        lookahead, branch-and-bound), so what-if releases never emit
+        destroy events on the real pool.
+        """
+        pool = SubgridAllocator(self._root.grid)
+        for grid in self._leases:
+            pool.lease_exact(grid)
+        return pool
+
     def release(self, grid: ProcessorGrid) -> None:
         """Return a leased subgrid; buddy pairs coalesce back toward the root."""
         node = self._leases.pop(grid, None)

@@ -1,0 +1,616 @@
+"""Pluggable packing policies: the decision rule of the subgrid scheduler.
+
+The :class:`~repro.sched.scheduler.Scheduler` owns the event loop — when
+time advances, how placements commit, how the operand-cache plan and the
+allocator destroy events are replayed — but *which* request is placed on
+*which* subgrid size at each decision point is a strategy.  This module
+defines that strategy interface (:class:`PackingPolicy`) and three
+implementations the gap report in :mod:`repro.analysis.serve` compares:
+
+* :class:`LPTPolicy` — the greedy longest-processing-time rule the
+  scheduler always used, extracted verbatim (bit-identical schedules;
+  ``tests/test_policies.py`` pins pre-refactor goldens);
+* :class:`BackfillPolicy` — conservative (EASY-style) backfilling: when
+  the longest arrived request is blocked, its earliest possible start is
+  *reserved* and only placements that finish by the reservation may jump
+  the queue, so backfilling can never delay the blocked head (the
+  no-delay invariant, property-tested against the reservation log);
+* :class:`OptimalPolicy` — branch-and-bound exhaustive search over all
+  event-aligned schedules of a small queue (≤ 8 requests by default),
+  pruned by the area bound; the ground-truth baseline the gap report
+  measures the heuristics against.
+
+Every placement option a policy considers is priced by the scheduler's
+own pricing hook (closed-form execution cost plus the exact
+:mod:`repro.dist.routing` staging cost of the request's resident operands
+on the *concrete* candidate subgrid), so the prices a policy compares are
+exactly the prices the commit pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.machine.cost import Cost, CostParams
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import ParameterError, require
+from repro.sched.allocator import SubgridAllocator
+
+#: relative slack for "same score" placement ties (smaller subgrid wins)
+_TIE = 1e-6
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One priced placement option: a request on a concrete subgrid, now."""
+
+    size: int
+    grid: ProcessorGrid
+    staging: Cost
+    saved: Cost
+    targets: tuple
+    modeled: Cost
+    duration: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What :meth:`PackingPolicy.choose` returns: place this request here."""
+
+    index: int
+    request: object
+    candidate: Candidate
+
+
+class PolicyContext:
+    """One decision point of the event loop, with pricing helpers.
+
+    Rebuilt by the scheduler before every policy consultation, so a policy
+    always sees the post-commit pool and queue.  ``pending`` holds *all*
+    unplaced requests (the area bound charges future arrivals too);
+    :meth:`arrived` filters to those the policy may actually place now.
+    ``running`` lists committed, unfinished placements as
+    ``(finish, index, size, grid)`` in finish order.
+    """
+
+    def __init__(
+        self,
+        now: float,
+        allocator: SubgridAllocator,
+        params: CostParams,
+        pending: Sequence[tuple[int, object]],
+        running: Sequence[tuple[float, int, int, ProcessorGrid]],
+        pricer: Callable[[object, ProcessorGrid], tuple[Cost, Cost, tuple]],
+    ):
+        self.now = now
+        self.allocator = allocator
+        self.params = params
+        self.pending = pending
+        self.running = running
+        self._pricer = pricer
+
+    @property
+    def capacity(self) -> int:
+        return self.allocator.capacity
+
+    def arrived(self) -> list[tuple[int, object]]:
+        """Unplaced requests whose arrival time has passed, queue order."""
+        return [it for it in self.pending if it[1].arrival <= self.now]
+
+    # -- pricing ------------------------------------------------------------
+
+    def exec_seconds(self, req, size: int) -> float:
+        return req.modeled_cost(size, self.params).time(self.params)
+
+    def min_exec_seconds(self, req) -> float:
+        """Best-case execution seconds over the request's candidate sizes."""
+        return min(
+            (self.exec_seconds(req, s) for s in req.candidate_sizes(self.capacity)),
+            default=0.0,
+        )
+
+    def min_area(self, req) -> float:
+        """Fewest rank-seconds any placement of ``req`` consumes."""
+        return min(
+            (s * self.exec_seconds(req, s) for s in req.candidate_sizes(self.capacity)),
+            default=0.0,
+        )
+
+    def rest_area(self, index: int) -> float:
+        """Minimum rank-seconds the rest of the queue still owes."""
+        return sum(self.min_area(r) for j, r in self.pending if j != index)
+
+    def price(
+        self,
+        req,
+        size: int,
+        pool: SubgridAllocator | None = None,
+        now: float | None = None,
+    ) -> Candidate | None:
+        """Price placing ``req`` at ``size`` on the pool's preview block.
+
+        ``None`` when no free block serves the size.  ``pool`` lets a
+        policy price against a what-if copy (:meth:`scratch_pool`) and
+        ``now`` against a hypothetical clock — both default to the live
+        decision point.
+        """
+        pool = self.allocator if pool is None else pool
+        now = self.now if now is None else now
+        grid = pool.preview(size)
+        if grid is None:
+            return None
+        staging, saved, targets = self._pricer(req, grid)
+        modeled = req.modeled_cost(size, self.params)
+        duration = staging.time(self.params) + modeled.time(self.params)
+        return Candidate(
+            size=size,
+            grid=grid,
+            staging=staging,
+            saved=saved,
+            targets=targets,
+            modeled=modeled,
+            duration=duration,
+            finish=now + duration,
+        )
+
+    def best_candidate(
+        self, req, rest_area: float, deadline: float | None = None
+    ) -> Candidate | None:
+        """The minimum-score placement of ``req`` on the current pool.
+
+        A placement is scored ``max(finish, area bound)`` where the area
+        bound charges the candidate for the capacity it consumes against
+        the remaining queue's minimum rank-seconds — the rule that makes
+        every policy *pack* instead of grabbing the whole machine.
+        Near-ties (1 ppm) take the smaller subgrid.  ``deadline`` drops
+        candidates finishing after it (how backfilling guards a
+        reservation).
+        """
+        best: tuple[float, Candidate] | None = None
+        for size in req.candidate_sizes(self.capacity):
+            cand = self.price(req, size)
+            if cand is None:
+                continue
+            if deadline is not None and cand.finish > deadline:
+                continue
+            score = max(
+                cand.finish,
+                self.now + (rest_area + size * cand.duration) / self.capacity,
+            )
+            if (
+                best is None
+                or score < best[0] * (1.0 - _TIE)
+                or (score <= best[0] * (1.0 + _TIE) and size < best[1].size)
+            ):
+                best = (score, cand)
+        return None if best is None else best[1]
+
+    # -- what-if simulation -------------------------------------------------
+
+    def scratch_pool(self) -> SubgridAllocator:
+        """A detached copy of the pool for hole-preview simulation.
+
+        Releasing and re-leasing here never fires the real pool's destroy
+        hook, so a policy can ask "when would this fit?" without the
+        scheduler recording phantom cache evictions.
+        """
+        return self.allocator.clone()
+
+    def earliest_fit(self, req) -> float | None:
+        """Earliest modeled time ``req`` could start with no new tenants.
+
+        Simulates the running placements releasing at their modeled
+        finishes (in finish order) on a scratch pool and returns the
+        first time a candidate size of ``req`` fits — ``self.now`` when
+        it already fits, ``None`` when it can never fit (no candidate
+        size is allocatable even in a drained pool).
+        """
+        sizes = req.candidate_sizes(self.capacity)
+        if not sizes:
+            return None
+        smallest = min(sizes)
+        if self.allocator.can_allocate(smallest):
+            return self.now
+        pool = self.scratch_pool()
+        for finish, _index, _size, grid in sorted(
+            self.running, key=lambda r: (r[0], r[1])
+        ):
+            pool.release(grid)
+            if pool.can_allocate(smallest):
+                return finish
+        return None
+
+
+def lpt_order(ctx: PolicyContext) -> list[tuple[int, object]]:
+    """Arrived requests, longest best-case execution first (stable)."""
+    arrived = ctx.arrived()
+    arrived.sort(key=lambda it: -ctx.min_exec_seconds(it[1]))
+    return arrived
+
+
+class PackingPolicy:
+    """Strategy interface: pick the next placement at a decision point.
+
+    The scheduler calls :meth:`choose` repeatedly at each decision point
+    (rebuilding the context after every commit) until it returns ``None``,
+    then advances time to the next event.  :meth:`reset` runs once per
+    ``schedule()`` pass before the event loop starts.
+    """
+
+    name = "policy"
+    #: True for policies that pre-plan a timeline and therefore cannot
+    #: follow cache-aware repricing (the scheduler refuses the combination)
+    requires_uncached = False
+
+    def reset(self, requests: Sequence[object]) -> None:
+        """Hook called once per scheduling pass with the full queue."""
+
+    def choose(self, ctx: PolicyContext) -> Decision | None:
+        raise NotImplementedError
+
+
+class LPTPolicy(PackingPolicy):
+    """Greedy longest-processing-time list scheduling (the historical rule).
+
+    Arrived requests are ranked longest best-case execution first; the
+    first one with any feasible placement is committed at its best-scored
+    size.  A blocked longer request does *not* hold shorter ones back —
+    that greedy skip is exactly what :class:`BackfillPolicy` replaces
+    with a reservation.
+    """
+
+    name = "lpt"
+
+    def choose(self, ctx: PolicyContext) -> Decision | None:
+        for index, req in lpt_order(ctx):
+            cand = ctx.best_candidate(req, ctx.rest_area(index))
+            if cand is not None:
+                return Decision(index, req, cand)
+        return None
+
+
+class BackfillPolicy(PackingPolicy):
+    """Conservative backfilling: fill holes without delaying the blocked head.
+
+    Identical to :class:`LPTPolicy` until the LPT head cannot be placed.
+    Then the head's earliest possible start is computed from the running
+    placements' modeled finishes (:meth:`PolicyContext.earliest_fit`) and
+    *reserved*; later requests in the LPT order may start in the idle
+    blocks only if every candidate placement finishes by the reservation.
+
+    The reservation is *sticky*: the reserved request keeps queue
+    priority until it is placed, even if a longer request arrives in the
+    meantime (a reservation is a promise — new arrivals go behind it,
+    exactly as in EASY backfilling's FCFS guarantee).
+
+    **No-delay invariant**: a backfilled placement returns its block by
+    the reserved time, and buddy coalescing is canonical in the lease
+    set, so the free blocks the reservation was computed from are free
+    again at the reservation — the head can always start by it.  While
+    the head stays blocked the reservation is recomputed every decision
+    point and can only move *earlier* (every tenant admitted after the
+    reservation releases its block by it).  ``reservations`` logs every
+    ``(decision time, head index, reserved start)`` so the property test
+    can check ``head start ≤ reserved start`` directly.
+    """
+
+    name = "backfill"
+
+    def __init__(self) -> None:
+        #: (decision time, blocked head index, reserved start) log
+        self.reservations: list[tuple[float, int, float]] = []
+        self._reserved: int | None = None
+
+    def reset(self, requests: Sequence[object]) -> None:
+        self.reservations = []
+        self._reserved = None
+
+    def choose(self, ctx: PolicyContext) -> Decision | None:
+        order = lpt_order(ctx)
+        if not order:
+            return None
+        if self._reserved is not None:
+            at = [i for i, it in enumerate(order) if it[0] == self._reserved]
+            if not at:
+                self._reserved = None  # placed on a previous pass
+            elif at[0] != 0:
+                order.insert(0, order.pop(at[0]))
+        index, req = order[0]
+        cand = ctx.best_candidate(req, ctx.rest_area(index))
+        if cand is not None:
+            if index == self._reserved:
+                self._reserved = None
+            return Decision(index, req, cand)
+        reserve = ctx.earliest_fit(req)
+        if reserve is None:
+            # The head can never fit any block of this pool: fall back to
+            # plain greedy so the scheduler's guard reports it, exactly
+            # as under LPT.
+            for jndex, jreq in order[1:]:
+                jcand = ctx.best_candidate(jreq, ctx.rest_area(jndex))
+                if jcand is not None:
+                    return Decision(jndex, jreq, jcand)
+            return None
+        self._reserved = index
+        self.reservations.append((ctx.now, index, reserve))
+        for jndex, jreq in order[1:]:
+            jcand = ctx.best_candidate(jreq, ctx.rest_area(jndex), deadline=reserve)
+            if jcand is not None:
+                return Decision(jndex, jreq, jcand)
+        return None
+
+
+class OptimalPolicy(PackingPolicy):
+    """Branch-and-bound exhaustive packing of a small queue (ground truth).
+
+    Explores every *event-aligned* schedule — placements happen at t = 0,
+    at an arrival, or at a modeled finish, which is exactly the set of
+    decision points the event loop offers, and some optimal schedule is
+    always of this form (shifting any placement earlier to the previous
+    event never hurts) — including deliberately idling capacity that the
+    greedy rules would grab.  Pruned by the area bound (remaining
+    rank-seconds over capacity), by per-request release-plus-execution
+    lower bounds, and by state dominance; the first descent follows the
+    greedy scoring so the incumbent starts at (roughly) the LPT makespan
+    and the search space only shrinks it.  The LPT schedule itself is in
+    the search space, so the result is never worse than LPT.
+
+    Exhaustive search is exponential: queues above ``max_requests``
+    (default 8, the tractability bound the gap report advertises) are
+    rejected.  The policy pre-plans the whole timeline at the first
+    decision point, so it must see the same prices at commit time —
+    combining it with an operand cache is refused
+    (``requires_uncached``); :class:`~repro.api.cluster.Cluster` drops
+    its cache automatically when given this policy.
+    """
+
+    name = "optimal"
+    requires_uncached = True
+
+    def __init__(self, max_requests: int = 8):
+        require(
+            max_requests >= 1,
+            ParameterError,
+            f"max_requests must be positive, got {max_requests}",
+        )
+        self.max_requests = int(max_requests)
+        self._plan: list[tuple[int, object, int, float, ProcessorGrid]] | None = None
+        self._cursor = 0
+        #: search-size statistic of the last planning pass (for reports)
+        self.nodes_explored = 0
+
+    def reset(self, requests: Sequence[object]) -> None:
+        require(
+            len(requests) <= self.max_requests,
+            ParameterError,
+            f"OptimalPolicy searches exhaustively: a queue of "
+            f"{len(requests)} requests exceeds max_requests="
+            f"{self.max_requests} (use lpt/backfill for long queues)",
+        )
+        self._plan = None
+        self._cursor = 0
+
+    def choose(self, ctx: PolicyContext) -> Decision | None:
+        if self._plan is None:
+            self._plan = self._solve(ctx)
+        if self._cursor >= len(self._plan):
+            return None
+        index, req, size, start, grid = self._plan[self._cursor]
+        # purely relative tolerance: the loop re-derives the plan's times
+        # from the same float arithmetic, so matches are exact up to
+        # reassociation; an absolute slack could emit before an arrival
+        tol = 1e-9 * abs(start)
+        if ctx.now < start - tol:
+            return None  # idle on purpose until the planned start
+        require(
+            ctx.now <= start + tol,
+            ParameterError,
+            "optimal plan diverged from the event loop (planned start "
+            f"{start!r}, loop reached {ctx.now!r})",
+        )
+        cand = ctx.price(req, size)
+        if cand is None or cand.grid != grid:
+            # more releases land at this same timestamp; wait for them
+            return None
+        self._cursor += 1
+        return Decision(index, req, cand)
+
+    # -- the search ---------------------------------------------------------
+
+    def _solve(self, ctx: PolicyContext):
+        """Minimum-makespan plan for the whole pending queue."""
+        require(
+            not ctx.running,
+            ParameterError,
+            "OptimalPolicy plans whole queues: the pool must be idle at "
+            "the first decision point",
+        )
+        params, capacity = ctx.params, ctx.capacity
+        items = list(ctx.pending)
+        req_by = dict(items)
+        arrival = {i: req.arrival for i, req in items}
+        sizes = {i: req.candidate_sizes(capacity) for i, req in items}
+        pool = ctx.scratch_pool()
+        best: dict = {"makespan": float("inf"), "plan": None}
+        seen: dict = {}
+        self.nodes_explored = 0
+
+        # Durations are pure in (request, concrete grid): memoize across
+        # the whole search (staging plans are the expensive part).
+        exec_memo: dict[tuple[int, int], float] = {
+            (i, s): ctx.exec_seconds(req, s) for i, req in items for s in sizes[i]
+        }
+        stage_memo: dict[tuple[int, ProcessorGrid], float] = {}
+
+        def duration_of(i: int, size: int, grid: ProcessorGrid) -> float:
+            key = (i, grid)
+            staged = stage_memo.get(key)
+            if staged is None:
+                staging, _saved, _targets = ctx._pricer(req_by[i], grid)
+                staged = staging.time(params)
+                stage_memo[key] = staged
+            return staged + exec_memo[(i, size)]
+
+        # Staging-inclusive lower bounds, priced on the drained pool's
+        # canonical blocks (our cyclic layouts route the same word counts
+        # to every congruent block, so the canonical price stands in for
+        # any block of that size): the shortest possible duration of each
+        # request and the fewest rank-seconds it can consume.
+        dur0 = {
+            (i, s): duration_of(i, s, pool.preview(s))
+            for i, _req in items
+            for s in sizes[i]
+        }
+        min_dur = {
+            i: min((dur0[(i, s)] for s in sizes[i]), default=0.0) for i, _req in items
+        }
+        areas = {
+            i: min((s * dur0[(i, s)] for s in sizes[i]), default=0.0)
+            for i, _req in items
+        }
+
+        def state_key(pending, running, now, barrier):
+            # exact floats: rounding could alias a state with its own
+            # wait-descendant (e.g. a sub-grain arrival) and prune the
+            # only feasible path; identical placement sets still collide
+            # exactly because their times are the same float sums
+            return (
+                frozenset(pending),
+                tuple(sorted((f, tuple(g.ranks())) for f, _i, _s, g in running)),
+                now,
+                barrier,
+            )
+
+        def dfs(pending, running, now, plan, max_finish, barrier):
+            self.nodes_explored += 1
+            if not pending:
+                if max_finish < best["makespan"]:
+                    best["makespan"] = max_finish
+                    best["plan"] = list(plan)
+                return
+            # prune: area bound + release-plus-execution bounds
+            lb = max_finish
+            owed = sum((f - now) * g.size for f, _i, _s, g in running)
+            owed += sum(areas[i] for i in pending)
+            lb = max(lb, now + owed / capacity)
+            for i in pending:
+                lb = max(lb, max(now, arrival[i]) + min_dur[i])
+            if lb >= best["makespan"] * (1.0 - 1e-12):
+                return
+            key = state_key(pending, running, now, barrier)
+            prior = seen.get(key)
+            if prior is not None and prior <= max_finish:
+                return
+            seen[key] = max_finish
+            # Placement branches, best-scored first (greedy-first descent,
+            # so the incumbent starts near the heuristics' makespan).
+            # ``barrier`` canonicalizes same-timestamp placements to
+            # increasing request index: committing {A, B} at one decision
+            # time in either order books the same sizes for the same
+            # durations (staging volumes are congruent across same-size
+            # blocks), so only one order needs exploring.
+            options = []
+            for i in pending:
+                if arrival[i] > now or i <= barrier:
+                    continue
+                rest = sum(areas[j] for j in pending if j != i)
+                priced = []
+                for size in sizes[i]:
+                    grid = pool.preview(size)
+                    if grid is None:
+                        continue
+                    priced.append((size, grid, duration_of(i, size, grid)))
+                priced.sort()
+                for pos, (size, grid, duration) in enumerate(priced):
+                    # dominated size: a smaller nested block runs this
+                    # request at most as long while leaving the pool
+                    # strictly freer — the bigger placement can always be
+                    # exchanged for the smaller one without losing makespan
+                    ranks = set(grid.ranks())
+                    if any(
+                        d2 <= duration and set(g2.ranks()) <= ranks
+                        for _s2, g2, d2 in priced[:pos]
+                    ):
+                        continue
+                    finish = now + duration
+                    score = max(finish, now + (rest + size * duration) / capacity)
+                    options.append((score, i, size, finish))
+            options.sort(key=lambda o: (o[0], o[2], o[1]))
+            for _score, i, size, finish in options:
+                grid = pool.allocate(size)
+                assert grid is not None
+                entry = (i, req_by[i], size, now, grid)
+                dfs(
+                    pending - {i},
+                    running + [(finish, i, size, grid)],
+                    now,
+                    plan + [entry],
+                    max(max_finish, finish),
+                    i,
+                )
+                pool.release(grid)
+            # wait branch: advance to the next event
+            next_finish = min((f for f, *_ in running), default=None)
+            next_arrival = min(
+                (arrival[i] for i in pending if arrival[i] > now), default=None
+            )
+            candidates = [t for t in (next_finish, next_arrival) if t is not None]
+            if not candidates:
+                require(
+                    barrier >= 0 or bool(options),
+                    ParameterError,
+                    "a pending request fits no allocatable subgrid size",
+                )
+                return
+            nxt = min(candidates)
+            released = [r for r in running if r[0] <= nxt]
+            for _f, _i, _s, g in released:
+                pool.release(g)
+            dfs(
+                pending,
+                [r for r in running if r[0] > nxt],
+                nxt,
+                plan,
+                max_finish,
+                -1,
+            )
+            for _f, _i, _s, g in reversed(released):
+                pool.lease_exact(g)
+
+        dfs(frozenset(i for i, _ in items), [], ctx.now, [], 0.0, -1)
+        require(
+            best["plan"] is not None,
+            ParameterError,
+            "optimal search found no feasible schedule",
+        )
+        return best["plan"]
+
+
+#: policy registry: the names ``--policy`` and ``Cluster(policy=...)`` accept
+POLICIES: dict[str, type[PackingPolicy]] = {
+    LPTPolicy.name: LPTPolicy,
+    BackfillPolicy.name: BackfillPolicy,
+    OptimalPolicy.name: OptimalPolicy,
+}
+
+
+def make_policy(policy: "PackingPolicy | str | None") -> PackingPolicy:
+    """Resolve ``policy`` to an instance: name, instance, or None (LPT)."""
+    if policy is None:
+        return LPTPolicy()
+    if isinstance(policy, PackingPolicy):
+        return policy
+    if isinstance(policy, str):
+        cls = POLICIES.get(policy)
+        require(
+            cls is not None,
+            ParameterError,
+            f"unknown packing policy {policy!r} (choose from "
+            f"{sorted(POLICIES)})",
+        )
+        return cls()
+    raise ParameterError(
+        f"policy must be a PackingPolicy, a name, or None, got {type(policy).__name__}"
+    )

@@ -1,34 +1,39 @@
 """Pack a queue of heterogeneous requests onto the subgrid pool.
 
-The scheduler is an event-driven list scheduler over the modeled costs:
+The scheduler is an event-driven list scheduler over the modeled costs.
+It owns the *mechanics* of packing; the *decision rule* — which request
+is placed on which subgrid size at each decision point — is a pluggable
+:class:`~repro.sched.policies.PackingPolicy` (greedy LPT by default,
+conservative backfilling and an exhaustive small-queue optimum as
+alternatives; see :mod:`repro.sched.policies`).  The loop:
 
-* at every decision point the arrived, still-unplaced requests are
-  considered longest-first (LPT — the classical makespan heuristic);
-* for each request every candidate subgrid size the pool can currently
-  serve is priced as ``finish = now + staging + execution``, where
-  *staging* is the exact :mod:`repro.dist.routing` migration cost of the
-  request's resident operands onto the concrete candidate subgrid
-  (:meth:`SubgridAllocator.preview` exposes it before committing) and
-  *execution* is the request's closed-form model on that size.  With an
-  operand cache (:mod:`repro.api.opcache`) the staging price is
-  *cache-aware*: a target whose staged copy is still resident on the
-  candidate subgrid prices at zero, so LPT packing actively prefers
+* at every decision point the policy is consulted with a
+  :class:`~repro.sched.policies.PolicyContext` — the arrived, still
+  unplaced requests, the running placements, and pricing helpers.  Every
+  candidate subgrid size is priced as ``finish = now + staging +
+  execution``, where *staging* is the exact :mod:`repro.dist.routing`
+  migration cost of the request's resident operands onto the concrete
+  candidate subgrid (:meth:`SubgridAllocator.preview` exposes it before
+  committing) and *execution* is the request's closed-form model on that
+  size.  With an operand cache (:mod:`repro.api.opcache`) the staging
+  price is *cache-aware*: a target whose staged copy is still resident on
+  the candidate subgrid prices at zero, so packing actively prefers
   subgrid affinity for streams of requests over the same operands.  The
   scheduler simulates the cache forward (a :class:`~repro.api.opcache.
   CachePlan`): committed placements add their staged keys, allocator
   destroy events (coalesce/re-split) evict, and both the per-target
   decisions and the eviction times are recorded on the result so
   execution replays the exact same hits;
-* a placement is scored ``max(finish, area bound)`` where the *area
-  bound* is ``now + (remaining queue's rank-seconds + this placement's
-  rank-seconds) / capacity`` — a finish-time-greedy rule would grab the
-  whole machine whenever the full grid is marginally faster per request
-  and serialize the queue behind it; charging each candidate for the
-  capacity it consumes is what makes the scheduler *pack*.  The
-  minimum-score (request, size) pair is committed; ties prefer the
-  smaller subgrid;
-* when nothing fits, time advances to the earliest running finish and its
-  subgrid coalesces back into the pool.
+* the default policy scores a placement ``max(finish, area bound)`` where
+  the *area bound* is ``now + (remaining queue's rank-seconds + this
+  placement's rank-seconds) / capacity`` — a finish-time-greedy rule
+  would grab the whole machine whenever the full grid is marginally
+  faster per request and serialize the queue behind it; charging each
+  candidate for the capacity it consumes is what makes the scheduler
+  *pack*.  Ties prefer the smaller subgrid;
+* when the policy declines to place, time advances to the earliest
+  running finish (its subgrid coalesces back into the pool) or the next
+  arrival, whichever comes first.
 
 The result is a :class:`Schedule`: per-request assignments with modeled
 start/finish plus the aggregate makespan and occupancy.  Execution
@@ -48,6 +53,7 @@ from repro.machine.cost import Cost, CostParams
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import ParameterError, require
 from repro.sched.allocator import SubgridAllocator
+from repro.sched.policies import PackingPolicy, PolicyContext, make_policy
 
 
 class SchedulableRequest(Protocol):
@@ -95,6 +101,8 @@ class Schedule:
     #: order — the Cluster replays these against the real operand cache
     #: so measured evictions mirror the modeled ones
     evictions: list[tuple[float, ProcessorGrid]] = field(default_factory=list)
+    #: name of the packing policy that produced this schedule
+    policy: str = "lpt"
 
     @property
     def makespan(self) -> float:
@@ -116,11 +124,17 @@ class Schedule:
 
 
 class Scheduler:
-    """Event-driven LPT packing of requests onto a :class:`SubgridAllocator`.
+    """Event-driven packing of requests onto a :class:`SubgridAllocator`.
 
-    ``cache`` (an :class:`~repro.api.opcache.OperandCache`, optional) makes
-    staging prices cache-aware; without one the scheduler prices every
-    placement at the full migration cost, exactly as before.
+    ``policy`` selects the packing decision rule — a
+    :class:`~repro.sched.policies.PackingPolicy` instance, a registry name
+    (``"lpt"``, ``"backfill"``, ``"optimal"``), or ``None`` for the
+    default greedy LPT.  ``cache`` (an
+    :class:`~repro.api.opcache.OperandCache`, optional) makes staging
+    prices cache-aware; without one the scheduler prices every placement
+    at the full migration cost.  Policies that pre-plan their timeline
+    (``requires_uncached``) cannot be combined with a cache — the prices
+    they planned with must be the prices the commit pays.
     """
 
     def __init__(
@@ -128,9 +142,18 @@ class Scheduler:
         allocator: SubgridAllocator,
         params: CostParams | None = None,
         cache=None,
+        policy: PackingPolicy | str | None = None,
     ):
         self.allocator = allocator
         self.params = params or CostParams()
+        self.policy = make_policy(policy)
+        require(
+            not (self.policy.requires_uncached and cache is not None),
+            ParameterError,
+            f"policy {self.policy.name!r} pre-plans its timeline and cannot "
+            "be combined with an operand cache (pass cache=None, or "
+            "Cluster(cache=False))",
+        )
         self.cache = cache
 
     def schedule(self, requests: Sequence[SchedulableRequest]) -> Schedule:
@@ -142,6 +165,7 @@ class Scheduler:
             ParameterError,
             "scheduling needs a drained pool (release running leases first)",
         )
+        self.policy.reset(requests)
         pending = list(enumerate(requests))
         running: list[tuple[float, int, Assignment]] = []  # (finish, seq, a)
         out: list[Assignment] = []
@@ -156,16 +180,6 @@ class Scheduler:
                 return req.staging_cost(grid, params), Cost.zero(), ()
             return breakdown(grid, params, view)
 
-        def exec_seconds(req: SchedulableRequest, size: int) -> float:
-            return req.modeled_cost(size, params).time(params)
-
-        def min_area(req: SchedulableRequest) -> float:
-            """Fewest rank-seconds any placement of ``req`` consumes."""
-            return min(
-                (s * exec_seconds(req, s) for s in req.candidate_sizes(alloc.capacity)),
-                default=0.0,
-            )
-
         def on_destroy(grid: ProcessorGrid) -> None:
             # A block stopped existing: its staged copies die with it, in
             # the planned view now and (via the recorded event time) in
@@ -177,75 +191,70 @@ class Scheduler:
         if view is not None:
             alloc.on_destroy = on_destroy
         try:
+            prev_state = None
             while pending or running:
+                # A legal iteration places (seq grows), pops a finish
+                # (running shrinks), or advances the clock; anything else
+                # means the policy declined forever — fail loudly instead
+                # of spinning.
+                state = (now, seq, len(running))
+                require(
+                    state != prev_state,
+                    ParameterError,
+                    f"scheduler stalled at t={now!r}: policy "
+                    f"{self.policy.name!r} places nothing and no event can "
+                    "advance time",
+                )
+                prev_state = state
                 placed = True
                 while placed:
                     placed = False
-                    arrived = [it for it in pending if it[1].arrival <= now]
-                    # LPT: longest best-case execution first.
-                    arrived.sort(
-                        key=lambda it: -min(
-                            (exec_seconds(it[1], s) for s in it[1].candidate_sizes(alloc.capacity)),
-                            default=0.0,
-                        )
+                    ctx = PolicyContext(
+                        now=now,
+                        allocator=alloc,
+                        params=params,
+                        pending=pending,
+                        running=[
+                            (a.finish, a.index, a.size, a.grid)
+                            for _, _, a in sorted(running, key=lambda r: r[:2])
+                        ],
+                        pricer=staging_for,
                     )
-                    for index, req in arrived:
-                        rest_area = sum(
-                            min_area(r) for j, r in pending if j != index
-                        )
-                        best = None
-                        for size in req.candidate_sizes(alloc.capacity):
-                            grid = alloc.preview(size)
-                            if grid is None:
-                                continue
-                            staging, saved, targets = staging_for(req, grid)
-                            modeled = req.modeled_cost(size, params)
-                            duration = staging.time(params) + modeled.time(params)
-                            finish = now + duration
-                            # Score the placement by its own finish AND the area
-                            # bound it leaves the rest of the queue with.
-                            score = max(
-                                finish, now + (rest_area + size * duration) / alloc.capacity
-                            )
-                            # Strictly-better score wins; near-ties (1 ppm) take
-                            # the smaller subgrid to keep capacity for the queue.
-                            if (
-                                best is None
-                                or score < best[0] * (1.0 - 1e-6)
-                                or (score <= best[0] * (1.0 + 1e-6) and size < best[2])
-                            ):
-                                best = (score, finish, size, staging, modeled, saved, targets)
-                        if best is None:
-                            continue
-                        _, finish, size, staging, modeled, saved, targets = best
-                        grid = alloc.allocate(size)
-                        assert grid is not None  # preview said it fits
-                        if view is not None:
-                            for key, target_grid, _, hit in targets:
-                                if not hit:
-                                    view.add(key, target_grid)
-                        a = Assignment(
-                            index=index,
-                            request=req,
-                            grid=grid,
-                            size=size,
-                            start=now,
-                            staging_seconds=staging.time(params),
-                            exec_seconds=modeled.time(params),
-                            finish=finish,
-                            staging=staging,
-                            modeled=modeled,
-                            staging_saved=saved,
-                            staging_saved_seconds=saved.time(params),
-                            cache_hits=sum(1 for t in targets if t[3]),
-                            cache_misses=sum(1 for t in targets if not t[3]),
-                        )
-                        heapq.heappush(running, (finish, seq, a))
-                        seq += 1
-                        out.append(a)
-                        pending.remove((index, req))
-                        placed = True
-                        break  # re-rank the queue against the shrunken pool
+                    decision = self.policy.choose(ctx)
+                    if decision is None:
+                        continue
+                    index, req, cand = (
+                        decision.index,
+                        decision.request,
+                        decision.candidate,
+                    )
+                    grid = alloc.allocate(cand.size)
+                    assert grid is not None  # the candidate came from preview
+                    if view is not None:
+                        for key, target_grid, _, hit in cand.targets:
+                            if not hit:
+                                view.add(key, target_grid)
+                    a = Assignment(
+                        index=index,
+                        request=req,
+                        grid=grid,
+                        size=cand.size,
+                        start=now,
+                        staging_seconds=cand.staging.time(params),
+                        exec_seconds=cand.modeled.time(params),
+                        finish=cand.finish,
+                        staging=cand.staging,
+                        modeled=cand.modeled,
+                        staging_saved=cand.saved,
+                        staging_saved_seconds=cand.saved.time(params),
+                        cache_hits=sum(1 for t in cand.targets if t[3]),
+                        cache_misses=sum(1 for t in cand.targets if not t[3]),
+                    )
+                    heapq.heappush(running, (cand.finish, seq, a))
+                    seq += 1
+                    out.append(a)
+                    pending.remove((index, req))
+                    placed = True  # re-consult against the shrunken pool
                 # Advance to the next event: the earliest running finish OR the
                 # next arrival, whichever comes first — a request arriving while
                 # others run must be considered as soon as it arrives, not when
@@ -281,4 +290,9 @@ class Scheduler:
         finally:
             alloc.on_destroy = prev_hook
         out.sort(key=lambda a: (a.start, a.index))
-        return Schedule(assignments=out, capacity=alloc.capacity, evictions=evictions)
+        return Schedule(
+            assignments=out,
+            capacity=alloc.capacity,
+            evictions=evictions,
+            policy=self.policy.name,
+        )

@@ -1,0 +1,401 @@
+"""Packing-policy contracts.
+
+* **LPT parity** — the policy refactor extracted the historical greedy
+  scheduler verbatim: the default policy reproduces pre-refactor golden
+  schedules bit for bit (FakeRequest streams and full ``replay()`` runs,
+  including cache hit/miss decisions).
+* **Validity** — every policy emits a valid schedule: no two
+  time-overlapping placements share a subgrid rank, every start respects
+  the arrival, every placement books a candidate size for its modeled
+  duration, and the pool drains.
+* **Backfill no-delay** — a backfilled placement never delays the blocked
+  head past its logged reservation, and the mixed small/large stream
+  shows the strict win over greedy LPT.
+* **Optimal ground truth** — the branch-and-bound search never loses to
+  either heuristic, matches hand-checkable optima, and refuses queues it
+  cannot search exhaustively.
+* **Accounting** — executing any policy's schedule charges the machine
+  exactly once per request region: the global volume total equals the
+  per-rank, per-region sums from ``machine.region_cost``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.cluster import Cluster
+from repro.api.requests import TrsmRequest
+from repro.api.serve import poisson_stream, replay, replay_mixed, replay_prepared
+from repro.machine.cost import Cost, CostParams
+from repro.machine.topology import ProcessorGrid
+from repro.machine.validate import ParameterError
+from repro.sched import (
+    BackfillPolicy,
+    LPTPolicy,
+    OptimalPolicy,
+    Scheduler,
+    SubgridAllocator,
+    make_policy,
+)
+from repro.trsm.prepared import PreparedTrsm
+from repro.util.randmat import random_lower_triangular
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+POLICY_NAMES = ("lpt", "backfill", "optimal")
+
+
+def make_pool(p: int) -> SubgridAllocator:
+    b = p.bit_length() - 1
+    return SubgridAllocator(ProcessorGrid.build((2 ** ((b + 1) // 2), 2 ** (b // 2))))
+
+
+class FakeRequest:
+    """Minimal SchedulableRequest: fixed per-size seconds, no staging."""
+
+    def __init__(self, seconds_by_size: dict[int, float], arrival: float = 0.0):
+        self.seconds = seconds_by_size
+        self.arrival = arrival
+
+    def candidate_sizes(self, capacity):
+        return [s for s in self.seconds if s <= capacity]
+
+    def modeled_cost(self, size, params):
+        return Cost(0.0, 0.0, self.seconds[size])
+
+    def staging_cost(self, grid, params):
+        return Cost.zero()
+
+
+def golden_stream(seed: int, count: int, max_arrival: float) -> list[FakeRequest]:
+    """The exact generator the pre-refactor goldens were captured with."""
+    rng = np.random.default_rng(seed)
+    reqs = []
+    for _ in range(count):
+        ss = sorted(rng.choice([1, 2, 4, 8, 16], size=rng.integers(1, 4), replace=False))
+        base = float(rng.uniform(0.5, 4.0))
+        secs = {int(s): base * (16 / s) ** float(rng.uniform(0.3, 1.0)) for s in ss}
+        arr = float(rng.uniform(0, max_arrival)) if max_arrival else 0.0
+        reqs.append(FakeRequest(secs, arrival=arr))
+    return reqs
+
+
+# Captured from the pre-refactor scheduler (PR 4 tree) on golden_stream
+# inputs: [index, size, start, finish, ranks] per assignment, start order.
+GOLDEN_SCHEDULES = {
+    (0, 7, 0.0): [
+        [2, 1, 0.0, 9.844294256020655, [1]],
+        [3, 1, 0.0, 22.96981128038583, [0]],
+        [4, 8, 0.0, 3.6807566900421533, [8, 9, 10, 11, 12, 13, 14, 15]],
+        [5, 4, 0.0, 5.027836961265825, [2, 3, 6, 7]],
+        [6, 2, 0.0, 26.259571328290587, [4, 5]],
+        [0, 4, 3.6807566900421533, 5.731004775980371, [10, 11, 14, 15]],
+        [1, 4, 3.6807566900421533, 8.780258307082445, [8, 9, 12, 13]],
+    ],
+    (1, 9, 3.0): [
+        [1, 16, 0.0826773397292051, 2.0148743170212695,
+         [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]],
+        [0, 8, 2.0148743170212695, 3.453652117857625,
+         [8, 9, 10, 11, 12, 13, 14, 15]],
+        [2, 4, 2.0148743170212695, 8.64540177291541, [2, 3, 6, 7]],
+        [7, 4, 2.0148743170212695, 6.844389018110867, [0, 1, 4, 5]],
+        [3, 4, 3.453652117857625, 9.162941406219481, [10, 11, 14, 15]],
+        [5, 4, 3.453652117857625, 10.823470394759228, [8, 9, 12, 13]],
+        [6, 1, 6.844389018110867, 12.309427476712006, [0]],
+        [8, 2, 6.844389018110867, 23.84001601215775, [4, 5]],
+        [4, 4, 8.64540177291541, 11.24784065576513, [2, 3, 6, 7]],
+    ],
+    (2, 12, 8.0): [
+        [0, 1, 0.4411730186645455, 6.49134152181604, [0]],
+        [3, 4, 0.836348467463532, 9.776436534949108, [2, 3, 6, 7]],
+        [9, 1, 0.9010628408905461, 4.705816045716892, [1]],
+        [6, 8, 1.7297871281521155, 4.405805909807327,
+         [8, 9, 10, 11, 12, 13, 14, 15]],
+        [10, 1, 3.604676284414097, 13.121257821229747, [4]],
+        [7, 1, 3.6514449670524485, 9.349806056141663, [5]],
+        [5, 8, 4.405805909807327, 11.075730881519187,
+         [8, 9, 10, 11, 12, 13, 14, 15]],
+        [2, 1, 4.705816045716892, 18.907418667988225, [1]],
+        [4, 1, 6.49134152181604, 34.355224736858574, [0]],
+        [1, 2, 9.776436534949108, 15.506027394527425, [6, 7]],
+        [11, 2, 9.776436534949108, 26.310012194468626, [2, 3]],
+        [8, 16, 34.355224736858574, 37.77836595328155,
+         [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]],
+    ],
+}
+
+
+def flatten(schedule):
+    return [
+        [a.index, a.size, float(a.start), float(a.finish), a.grid.ranks()]
+        for a in schedule.assignments
+    ]
+
+
+class TestLPTParity:
+    """The default policy is the pre-refactor scheduler, bit for bit."""
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN_SCHEDULES))
+    def test_golden_fake_streams(self, key):
+        seed, count, max_arrival = key
+        reqs = golden_stream(seed, count, max_arrival)
+        schedule = Scheduler(make_pool(16), UNIT).schedule(reqs)
+        assert flatten(schedule) == GOLDEN_SCHEDULES[key]
+
+    def test_policy_spellings_identical(self):
+        def reqs():
+            # fresh FakeRequests per scheduler (they are stateless anyway)
+            return golden_stream(1, 9, 3.0)
+
+        default = Scheduler(make_pool(16), UNIT).schedule(reqs())
+        by_name = Scheduler(make_pool(16), UNIT, policy="lpt").schedule(reqs())
+        by_instance = Scheduler(
+            make_pool(16), UNIT, policy=LPTPolicy()
+        ).schedule(reqs())
+        assert flatten(default) == flatten(by_name) == flatten(by_instance)
+        assert default.policy == by_name.policy == "lpt"
+
+    def test_golden_replay_resident_stream(self):
+        # Captured pre-refactor: a resident Poisson stream through a
+        # cache-on Cluster — placements, makespans, and cache decisions.
+        stream = poisson_stream(
+            count=7, rate=3e4, n_range=(32, 64), k_range=(8, 16), seed=9
+        )
+        out = replay(stream, p=16)
+        assert out.modeled_makespan == 0.0003213221061352696
+        assert out.measured_makespan == 0.00032091250613526957
+        assert (out.staging_hits, out.staging_misses) == (0, 14)
+        got = [
+            [r.rid, r.size, float(r.modeled_start), float(r.modeled_finish),
+             sorted(r.grid.ranks())]
+            for r in out.records
+        ]
+        assert got == [
+            [0, 4, 0.00010963025242444954, 0.00014024203677691303, [0, 1, 4, 5]],
+            [1, 4, 0.0001260834451632792, 0.0001516211912513951, [2, 3, 6, 7]],
+            [2, 4, 0.00015744876708232558, 0.00018589095143478908, [0, 1, 4, 5]],
+            [3, 4, 0.00019073971796019118, 0.00021918190231265468, [0, 1, 4, 5]],
+            [4, 4, 0.00021749965476403288, 0.00024594183911649635, [2, 3, 6, 7]],
+            [5, 4, 0.0002615130237183503, 0.0002899552080708138, [0, 1, 4, 5]],
+            [6, 1, 0.0002890629061352696, 0.0003213221061352696, [2]],
+        ]
+
+    def test_golden_replay_prepared_cache_hits(self):
+        # Captured pre-refactor: the cache-hit path is decision-identical.
+        solver = PreparedTrsm(random_lower_triangular(64, seed=0), p=16, k_hint=8)
+        out = replay_prepared(solver, count=6, p=16, k=8, seed=5, cache=True, size=4)
+        assert out.modeled_makespan == 2.34272e-05
+        assert out.measured_makespan == 3.98208e-05
+        assert (out.staging_hits, out.staging_misses) == (4, 8)
+        assert out.staging_saved_seconds == 1.5072e-05
+
+
+@st.composite
+def fake_streams(draw, max_count=8, max_menu=3, max_arrival=5.0):
+    """Streams of FakeRequests on a 16-rank pool."""
+    count = draw(st.integers(min_value=1, max_value=max_count))
+    reqs = []
+    for _ in range(count):
+        menu = draw(
+            st.lists(
+                st.sampled_from([1, 2, 4, 8, 16]),
+                min_size=1,
+                max_size=max_menu,
+                unique=True,
+            )
+        )
+        secs = {
+            s: draw(st.floats(min_value=0.1, max_value=5.0)) for s in menu
+        }
+        arrival = draw(st.floats(min_value=0.0, max_value=max_arrival))
+        reqs.append(FakeRequest(secs, arrival=arrival))
+    return reqs
+
+
+def assert_valid_schedule(schedule, reqs, pool):
+    """The satellite validity property: disjointness, arrivals, booking."""
+    assert sorted(a.index for a in schedule.assignments) == list(range(len(reqs)))
+    for a in schedule.assignments:
+        req = reqs[a.index]
+        assert a.start >= req.arrival - 1e-12
+        assert a.size in req.candidate_sizes(pool.capacity)
+        assert a.size == a.grid.size
+        assert a.finish == pytest.approx(a.start + req.seconds[a.size])
+    for i, a in enumerate(schedule.assignments):
+        for b in schedule.assignments[i + 1 :]:
+            overlap = a.start < b.finish - 1e-12 and b.start < a.finish - 1e-12
+            if overlap:
+                assert not set(a.grid.ranks()) & set(b.grid.ranks()), (
+                    f"requests {a.index} and {b.index} overlap in time and ranks"
+                )
+    assert schedule.makespan == max(a.finish for a in schedule.assignments)
+    assert pool.drained()
+
+
+class TestEveryPolicyEmitsValidSchedules:
+    @given(fake_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_lpt_valid(self, reqs):
+        pool = make_pool(16)
+        schedule = Scheduler(pool, UNIT, policy="lpt").schedule(reqs)
+        assert_valid_schedule(schedule, reqs, pool)
+
+    @given(fake_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_backfill_valid(self, reqs):
+        pool = make_pool(16)
+        schedule = Scheduler(pool, UNIT, policy="backfill").schedule(reqs)
+        assert_valid_schedule(schedule, reqs, pool)
+
+    @given(fake_streams(max_count=4, max_menu=2))
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_valid(self, reqs):
+        pool = make_pool(16)
+        schedule = Scheduler(pool, UNIT, policy="optimal").schedule(reqs)
+        assert_valid_schedule(schedule, reqs, pool)
+
+
+class TestBackfillNoDelay:
+    @given(fake_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_head_starts_by_every_logged_reservation(self, reqs):
+        policy = BackfillPolicy()
+        schedule = Scheduler(make_pool(16), UNIT, policy=policy).schedule(reqs)
+        by_index = {a.index: a for a in schedule.assignments}
+        for logged_at, head, reserved in policy.reservations:
+            assert by_index[head].start <= reserved + 1e-9, (
+                f"head {head} reserved at t={logged_at} for {reserved} "
+                f"started {by_index[head].start}"
+            )
+
+    def test_reservation_holds_capacity_for_the_blocked_head(self):
+        """The textbook scenario: a full-grid request starves under greedy
+        LPT while staggered small requests keep grabbing freed blocks;
+        backfilling reserves its start and refuses the late smalls."""
+        def stream():
+            reqs = [FakeRequest({8: 3.0}) for _ in range(2)]          # fill pool
+            reqs.append(FakeRequest({16: 10.0}, arrival=0.5))         # blocked head
+            reqs += [
+                FakeRequest({8: 3.0}, arrival=a) for a in (2.0, 3.5, 8.0)
+            ]
+            return reqs
+
+        lpt = Scheduler(make_pool(16), UNIT, policy="lpt").schedule(stream())
+        policy = BackfillPolicy()
+        bf = Scheduler(make_pool(16), UNIT, policy=policy).schedule(stream())
+        big_lpt = next(a for a in lpt.assignments if a.size == 16)
+        big_bf = next(a for a in bf.assignments if a.size == 16)
+        assert policy.reservations, "the head must have been reserved"
+        assert big_bf.start < big_lpt.start, "backfilling must unblock the head"
+        assert bf.makespan < lpt.makespan, "and win the makespan here"
+
+    def test_mixed_pinned_stream_strict_win(self):
+        """The real-request version (the bench gate scenario)."""
+        lpt = replay_mixed(p=16, policy="lpt", smalls=8)
+        bf = replay_mixed(p=16, policy="backfill", smalls=8)
+        assert bf.policy == "backfill"
+        assert bf.modeled_makespan < lpt.modeled_makespan
+        assert bf.measured_makespan < lpt.measured_makespan
+
+
+class TestOptimalGroundTruth:
+    @given(fake_streams(max_count=4, max_menu=2))
+    @settings(max_examples=25, deadline=None)
+    def test_never_worse_than_either_heuristic(self, reqs):
+        lpt = Scheduler(make_pool(16), UNIT, policy="lpt").schedule(reqs)
+        bf = Scheduler(make_pool(16), UNIT, policy="backfill").schedule(reqs)
+        opt = Scheduler(make_pool(16), UNIT, policy="optimal").schedule(reqs)
+        assert opt.makespan <= min(lpt.makespan, bf.makespan) * (1 + 1e-9)
+
+    def test_hand_checkable_optimum(self):
+        # Two half-grid placements in parallel beat any serial full-grid
+        # plan: optimal must find 1.4 even though each request alone
+        # prefers the full grid.
+        reqs = [FakeRequest({16: 1.0, 8: 1.4}), FakeRequest({16: 1.0, 8: 1.4})]
+        opt = Scheduler(make_pool(16), UNIT, policy="optimal").schedule(reqs)
+        assert opt.makespan == pytest.approx(1.4)
+
+    def test_deliberate_idling_beats_greedy(self):
+        # Greedy fills the second half with the long small job and pays
+        # for it; the optimum idles that half until the full-grid job is
+        # done.  (8-job 5.0 on the half, 16-job 1.0 on the grid.)
+        reqs = [FakeRequest({16: 1.0}), FakeRequest({8: 5.0, 16: 4.0})]
+        lpt = Scheduler(make_pool(16), UNIT, policy="lpt").schedule(reqs)
+        opt = Scheduler(make_pool(16), UNIT, policy="optimal").schedule(reqs)
+        assert opt.makespan <= lpt.makespan
+        assert opt.makespan == pytest.approx(5.0)
+
+    def test_queue_cap_enforced(self):
+        reqs = [FakeRequest({4: 1.0}) for _ in range(9)]
+        with pytest.raises(ParameterError):
+            Scheduler(make_pool(16), UNIT, policy="optimal").schedule(reqs)
+        # a raised cap admits the same queue
+        relaxed = Scheduler(
+            make_pool(16), UNIT, policy=OptimalPolicy(max_requests=9)
+        )
+        assert len(relaxed.schedule(reqs).assignments) == 9
+
+    def test_refuses_operand_cache(self):
+        from repro.api.opcache import OperandCache
+
+        with pytest.raises(ParameterError):
+            Scheduler(make_pool(16), UNIT, cache=OperandCache(), policy="optimal")
+
+    def test_cluster_drops_cache_for_optimal(self):
+        cluster = Cluster(16, policy="optimal")
+        assert cluster.opcache is None
+        assert make_policy("optimal").requires_uncached
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ParameterError):
+            make_policy("round_robin")
+
+
+class TestClusterPolicyIntegration:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_stream_correct_under_every_policy(self, policy):
+        stream = poisson_stream(
+            count=4, rate=2e4, n_range=(32, 64), k_range=(8, 16), seed=3
+        )
+        out = replay(stream, p=16, policy=policy, cache=False)
+        assert out.policy == policy
+        assert len(out.records) == 4
+        for rec in out.records:
+            assert rec.residual is not None and rec.residual < 1e-9
+            # measured windows are physical: nothing starts before arrival
+            assert rec.measured_start >= stream[rec.rid].arrival - 1e-12
+            assert rec.modeled_start >= stream[rec.rid].arrival - 1e-12
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_total_charge_equals_per_region_sums(self, policy):
+        """Accounting identity: every charge of the run lands in exactly
+        one request region, so the machine's global volume total equals
+        the per-rank, per-region region_cost sums."""
+        cluster = Cluster(16, cache=False, policy=policy)
+        rng = np.random.default_rng(7)
+        rids = []
+        for i in range(4):
+            n = int(rng.choice([32, 64]))
+            L = random_lower_triangular(n, seed=10 + i)
+            B = rng.standard_normal((n, 8))
+            rids.append(
+                cluster.submit(
+                    TrsmRequest(
+                        L=cluster.host(L), B=cluster.host(B), verify=False
+                    )
+                )
+            )
+        out = cluster.run()
+        machine = cluster.machine
+        total = machine.counters.total
+        S = W = F = 0.0
+        for rid in rids:
+            region = f"request:{rid}"
+            for rank in range(cluster.p):
+                c = machine.region_cost(region, [rank])
+                S, W, F = S + c.S, W + c.W, F + c.F
+        assert S == pytest.approx(total.S, rel=1e-9, abs=1e-9)
+        assert W == pytest.approx(total.W, rel=1e-9, abs=1e-9)
+        assert F == pytest.approx(total.F, rel=1e-9, abs=1e-9)
+        assert out.measured_makespan == machine.time()
