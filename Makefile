@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke bench-policies lint selfcheck solve serve clean
+.PHONY: test test-fast bench-smoke bench-policies bench-throughput lint \
+	selfcheck solve serve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
@@ -20,7 +21,7 @@ test-fast:
 ## regressions (serve asserts packed makespan < serial full grid).
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest -x -q benchmarks/bench_redistribute.py \
-		benchmarks/bench_serve.py
+		benchmarks/bench_serve.py benchmarks/bench_throughput.py
 
 ## Full-fat serve + policy-comparison sweep: gates backfill <= LPT (with
 ## the mixed-stream strict win), LPT <= 1.5x the exhaustive optimum on
@@ -28,6 +29,13 @@ bench-smoke:
 ## benchmarks/results/BENCH_serve.json (the CI bench job uploads it).
 bench-policies:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_serve.py
+
+## Serve-scale throughput gates: 10^4-request scheduling above the RPS
+## floor, the vectorized/cached path bit-identical to the pinned
+## reference and >= 50x quicker, and the ~100x-grown executed replay;
+## writes benchmarks/results/BENCH_throughput.json (CI uploads it).
+bench-throughput:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_throughput.py
 
 ## Ruff lint + formatting check (CI runs both; requires ruff on PATH).
 lint:

@@ -1,0 +1,193 @@
+"""E11 — serve-scale throughput: the vectorized routing + cache fast path.
+
+PR 6 rebuilt the serve hot path for throughput: the per-pair ``np.nonzero``
+scans in :mod:`repro.dist.routing` became one argsort/group-by shared by
+``pairs``/``charge``/``apply``, routing plans are memoized in an LRU keyed
+by layout fingerprints, and the scheduler prices repeat requests from a
+:class:`~repro.sched.pricing.PricingMemo` instead of re-deriving every
+candidate.  This bench is the acceptance artifact for that work:
+
+* **scheduling** — a 10^4-request Poisson stream packed (not executed)
+  through :func:`~repro.api.serve.schedule_stream` on p = 64, gated on a
+  requests-per-second floor so CI fails when the fast path regresses;
+* **parity + speedup** — the same stream scheduled twice: once on the
+  fast path and once with reference-mode routing, the plan cache off and
+  the pricing memo off (the pre-PR path, kept verbatim in
+  :mod:`repro.dist.routing_reference`).  The two schedules must be
+  bit-identical and the fast path at least 50x quicker (measured ~135x);
+* **executed replay** — a grown (~100x the old smoke count) stream run to
+  completion with shared operands, so the operand cache, plan cache and
+  pricing memo all amortize across the stream.
+
+Everything lands in ``benchmarks/results/BENCH_throughput.json`` (the CI
+bench job uploads it next to ``BENCH_serve.json``).  Run via
+``make bench-throughput``, or ``make bench-smoke`` for the tiny sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.api.serve import poisson_stream, replay, schedule_stream
+from repro.dist import routing
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+
+#: scheduling-only stream (packs at ~2500 req/s on the dev box at p=64;
+#: the floor leaves ~5x headroom for slower CI runners)
+SCHED_P = 16 if SMOKE else 64
+SCHED_COUNT = 300 if SMOKE else 10_000
+RPS_FLOOR = 50.0 if SMOKE else 500.0
+
+#: fast-vs-reference parity run (measured ~135x at count=300)
+PARITY_COUNT = 40 if SMOKE else 300
+SPEEDUP_FLOOR = 50.0
+
+#: executed replay, ~100x the pre-PR smoke count (measured ~300 req/s)
+REPLAY_COUNT = 30 if SMOKE else 600
+REPLAY_RPS_FLOOR = 5.0 if SMOKE else 25.0
+
+_REPORT: dict = {"smoke": SMOKE}
+
+
+def _flatten(schedule) -> list[tuple]:
+    """The bit-identity view of a schedule (what the parity gate compares)."""
+    return [
+        (a.index, a.size, a.start, a.finish, tuple(a.grid.ranks()))
+        for a in schedule.assignments
+    ]
+
+
+def _slow_path_schedule(stream, p):
+    """Schedule on the pre-PR path: reference routing, every cache off."""
+    prev_ref = routing.set_reference_mode(True)
+    prev_cache = routing.set_plan_cache_enabled(False)
+    routing.clear_plan_cache()
+    try:
+        return schedule_stream(stream, p=p, pricing_cache=False)
+    finally:
+        routing.set_reference_mode(prev_ref)
+        routing.set_plan_cache_enabled(prev_cache)
+        routing.clear_plan_cache()
+
+
+def test_scheduling_throughput_floor(emit, benchmark):
+    """10^4 requests packed through the scheduler above the RPS floor."""
+    stream = poisson_stream(
+        count=SCHED_COUNT, rate=2e5, n_range=(32, 128), k_range=(4, 16), seed=7
+    )
+    routing.clear_plan_cache()
+    start = time.perf_counter()
+    sched = schedule_stream(stream, p=SCHED_P)
+    seconds = time.perf_counter() - start
+    rps = SCHED_COUNT / seconds
+    stats = routing.plan_cache_stats()
+
+    assert len(sched.assignments) == SCHED_COUNT
+    assert rps >= RPS_FLOOR, (
+        f"scheduling throughput regressed: {rps:.0f} req/s < floor {RPS_FLOOR:.0f}"
+    )
+    # the plan cache is doing the amortizing: repeat placements hit
+    assert stats["hits"] > 0
+
+    _REPORT["scheduling"] = {
+        "p": SCHED_P,
+        "requests": SCHED_COUNT,
+        "seconds": seconds,
+        "rps": rps,
+        "rps_floor": RPS_FLOOR,
+        "plan_cache": stats,
+    }
+    emit(
+        "throughput_scheduling",
+        f"scheduled {SCHED_COUNT} requests on p={SCHED_P} in {seconds:.3f}s "
+        f"= {rps:.0f} req/s (floor {RPS_FLOOR:.0f})\n"
+        f"plan cache: {stats['hits']} hits / {stats['misses']} misses",
+    )
+    benchmark(lambda: None)
+
+
+def test_fast_path_parity_and_speedup(emit, benchmark):
+    """Fast path bit-identical to the pre-PR path, and >= 50x quicker."""
+    stream = poisson_stream(
+        count=PARITY_COUNT, rate=2e5, n_range=(32, 128), k_range=(4, 16), seed=7
+    )
+    routing.clear_plan_cache()
+    start = time.perf_counter()
+    fast = schedule_stream(stream, p=SCHED_P)
+    fast_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = _slow_path_schedule(stream, p=SCHED_P)
+    slow_seconds = time.perf_counter() - start
+
+    assert _flatten(fast) == _flatten(slow), (
+        "the vectorized/cached path must reproduce the reference schedule "
+        "bit for bit"
+    )
+    speedup = slow_seconds / fast_seconds
+    if not SMOKE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"fast-path speedup collapsed: {speedup:.1f}x < {SPEEDUP_FLOOR:.0f}x"
+        )
+
+    _REPORT["parity_speedup"] = {
+        "p": SCHED_P,
+        "requests": PARITY_COUNT,
+        "fast_seconds": fast_seconds,
+        "slow_seconds": slow_seconds,
+        "speedup": speedup,
+        "speedup_floor": None if SMOKE else SPEEDUP_FLOOR,
+        "identical": True,
+    }
+    emit(
+        "throughput_parity",
+        f"{PARITY_COUNT} requests on p={SCHED_P}: fast {fast_seconds:.3f}s, "
+        f"reference {slow_seconds:.3f}s = {speedup:.1f}x "
+        f"(floor {SPEEDUP_FLOOR:.0f}x, schedules bit-identical)",
+    )
+    benchmark(lambda: None)
+
+
+def test_grown_replay_executes_end_to_end(emit, benchmark):
+    """A ~100x-grown stream runs to completion with shared operands."""
+    stream = poisson_stream(
+        count=REPLAY_COUNT, rate=2e5, n_range=(32, 64), k_range=(4, 8), seed=11
+    )
+    start = time.perf_counter()
+    outcome = replay(stream, p=16, verify=False, shared_operands=True)
+    seconds = time.perf_counter() - start
+    rps = REPLAY_COUNT / seconds
+
+    assert len(outcome.records) == REPLAY_COUNT
+    assert rps >= REPLAY_RPS_FLOOR, (
+        f"executed replay regressed: {rps:.0f} req/s < floor {REPLAY_RPS_FLOOR:.0f}"
+    )
+    # shared operands make the staged-copy cache earn its keep
+    assert outcome.staging_hits > 0
+
+    _REPORT["executed_replay"] = {
+        "p": 16,
+        "requests": REPLAY_COUNT,
+        "seconds": seconds,
+        "rps": rps,
+        "rps_floor": REPLAY_RPS_FLOOR,
+        "staging_hit_rate": outcome.staging_hit_rate(),
+    }
+    emit(
+        "throughput_replay",
+        f"executed {REPLAY_COUNT} requests on p=16 in {seconds:.3f}s "
+        f"= {rps:.0f} req/s (floor {REPLAY_RPS_FLOOR:.0f}), "
+        f"staging hit rate {outcome.staging_hit_rate():.2f}",
+    )
+    benchmark(lambda: None)
+
+
+def test_emit_bench_json(results_dir):
+    """Write the machine-readable artifact the CI bench job uploads."""
+    path = pathlib.Path(results_dir) / "BENCH_throughput.json"
+    path.write_text(json.dumps(_REPORT, indent=2) + "\n")
+    assert "scheduling" in _REPORT and "parity_speedup" in _REPORT

@@ -72,26 +72,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         k_range=(args.k_min, args.k_max),
         seed=args.seed,
     )
-    if args.gap:
-        print(
-            policy_gap_report(
-                requests_spec,
-                p=args.p,
-                params=params,
-                verify=not args.no_verify,
+
+    def run() -> int:
+        if args.gap:
+            print(
+                policy_gap_report(
+                    requests_spec,
+                    p=args.p,
+                    params=params,
+                    verify=not args.no_verify,
+                )
             )
+            return 0
+        outcome = replay(
+            requests_spec,
+            p=args.p,
+            params=params,
+            resident=not args.no_resident,
+            verify=not args.no_verify,
+            policy=args.policy,
         )
+        print(serve_report(outcome))
         return 0
-    outcome = replay(
-        requests_spec,
-        p=args.p,
-        params=params,
-        resident=not args.no_resident,
-        verify=not args.no_verify,
-        policy=args.policy,
-    )
-    print(serve_report(outcome))
-    return 0
+
+    if not args.profile:
+        return run()
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    rc = prof.runcall(run)
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).strip_dirs().sort_stats("cumulative").print_stats(25)
+    print("\nprofile (top 25 by cumulative time):")
+    print(buf.getvalue())
+    return rc
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -226,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="pass operands as globals (skip data-plane hosting + migration)",
     )
     p_serve.add_argument("--no-verify", action="store_true")
+    p_serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top functions by cumulative time",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_tune = sub.add_parser("tune", help="a-priori parameter advice")

@@ -74,7 +74,7 @@ from repro.sched.scheduler import Scheduler
 from repro.util.mathutil import is_power_of_two
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """One completed request: placement, model, and measurement."""
 
@@ -162,6 +162,7 @@ class Cluster:
         trace: bool = False,
         cache: bool = True,
         policy: PackingPolicy | str | None = None,
+        pricing_cache: bool = True,
     ):
         require(
             is_power_of_two(p), ParameterError, f"p must be a power of two, got {p}"
@@ -186,6 +187,9 @@ class Cluster:
         self.opcache: OperandCache | None = (
             OperandCache() if cache and not self.policy.requires_uncached else None
         )
+        #: memoize scheduler pricing across decision points (bit-identical
+        #: schedules; False re-derives every price, the pre-memo behavior)
+        self.pricing_cache = bool(pricing_cache)
         self._queue: list[Request] = []
         self._next_rid = 0
         self._exec_hits = 0
@@ -284,7 +288,11 @@ class Cluster:
             # them mid-run and diverge the plan from the measurement).
             self.opcache.evict_grid(self.pool.root_grid)
         schedule = Scheduler(
-            self.pool, self.params, cache=self.opcache, policy=self.policy
+            self.pool,
+            self.params,
+            cache=self.opcache,
+            policy=self.policy,
+            pricing_cache=self.pricing_cache,
         ).schedule(queue)
         require(
             self.pool.drained(),

@@ -59,6 +59,8 @@ def cache_key(source: DistMatrix, grid, layout: Layout) -> CacheKey:
 class OperandCache:
     """Live staged copies of cluster-hosted operands, keyed by placement."""
 
+    __slots__ = ("_entries", "_ranks", "hits", "misses")
+
     def __init__(self):
         self._entries: dict[CacheKey, StagedCopy] = {}
         self._ranks: dict[CacheKey, frozenset[int]] = {}
@@ -157,6 +159,8 @@ class CachePlan:
     decisions are recorded on each assignment, and the real cache follows
     the same evictions during execution, so model and measurement agree.
     """
+
+    __slots__ = ("_ranks",)
 
     def __init__(self, ranks: dict[CacheKey, frozenset[int]]):
         self._ranks = dict(ranks)

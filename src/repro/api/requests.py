@@ -53,6 +53,17 @@ def _shape_of(M) -> tuple[int, int]:
     return (A.shape[0], A.shape[1] if A.ndim == 2 else 1)
 
 
+def _operand_key(M):
+    """The pricing identity of one operand.
+
+    Cluster-resident matrices price by handle and generation (staging
+    costs and cache keys both derive from exactly these); global arrays
+    never stage, so only their shape matters for pricing — and the shape
+    is already part of every ``pricing_key`` — hence ``None``.
+    """
+    return (M.uid, M.generation) if isinstance(M, DistMatrix) else None
+
+
 @dataclass
 class Execution:
     """What one request execution produced (see ``RequestRecord``)."""
@@ -130,6 +141,21 @@ class Request:
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         """Yield ``(resident_matrix, target_grid, target_layout)`` triples."""
         return ()
+
+    def pricing_key(self):
+        """Hashable pricing identity, or ``None`` to opt out of sharing.
+
+        **Contract**: two requests with equal, non-``None`` keys must
+        price identically — same ``candidate_sizes``, same
+        ``modeled_cost`` at every size, and same ``_staging_targets`` on
+        any concrete subgrid.  The scheduler's
+        :class:`~repro.sched.pricing.PricingMemo` then shares one memo
+        row across them, which is what makes a serve stream of
+        same-shape requests price in O(1) amortized.  Arrival times and
+        verification flags are deliberately excluded — they never affect
+        a price.
+        """
+        return None
 
     def execute(self, cluster, grid: ProcessorGrid) -> Execution:
         raise NotImplementedError
@@ -228,6 +254,20 @@ class TrsmRequest(Request):
             return recursive_cost(self.n, self.k, size)
         c = self.choice_for(size, params)
         return iterative_cost(self.n, self.k, c.n0, c.p1, c.p2)
+
+    def pricing_key(self):
+        return (
+            "trsm",
+            self.n,
+            self.k,
+            self.algorithm,
+            self.tune,
+            self.n0,
+            self.base_n,
+            self.sizes,
+            _operand_key(self.L),
+            _operand_key(self.B),
+        )
 
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         from repro.trsm.iterative import _RowCyclicColBlocked
@@ -341,6 +381,18 @@ class MMRequest(Request):
         p1, p2 = self._split(size, params)
         return mm3d_cost(self.n, self.k, p1, p2, m=self.m)
 
+    def pricing_key(self):
+        return (
+            "mm",
+            self.m,
+            self.n,
+            self.k,
+            self.p1,
+            self.sizes,
+            _operand_key(self.A),
+            _operand_key(self.X),
+        )
+
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         sp = math.isqrt(grid.size)
         grid2d = grid.reshape((sp, sp))
@@ -419,6 +471,17 @@ class InvRequest(Request):
 
         c = self.choice_for(size)
         return iterative_parts(self.n, max(self.k_hint, 1), c.n0, c.p1, c.p2).inversion
+
+    def pricing_key(self):
+        return (
+            "inv",
+            self.n,
+            self.n0,
+            self.k_hint,
+            self.base_n,
+            self.sizes,
+            _operand_key(self.L),
+        )
 
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         if not isinstance(self.L, DistMatrix):
@@ -531,6 +594,20 @@ class PreparedSolveRequest(Request):
         c = self.choice_for(size)
         parts = iterative_parts(self.n, self.k, c.n0, c.p1, c.p2)
         return parts.solve + parts.update
+
+    def pricing_key(self):
+        # the prepared solver prices through its TuningChoice; distinct
+        # PreparedTrsm objects stay distinct (id), shared ones share
+        return (
+            "prepared_solve",
+            id(self.prepared),
+            self.n,
+            self.k,
+            self.sizes,
+            _operand_key(self.L),
+            _operand_key(self.Ltilde),
+            _operand_key(self.B),
+        )
 
     def _staging_targets(self, grid: ProcessorGrid, params: CostParams):
         from repro.trsm.iterative import _RowCyclicColBlocked

@@ -18,10 +18,11 @@ from repro.api.cluster import Cluster, ClusterOutcome
 from repro.api.requests import PreparedSolveRequest, TrsmRequest
 from repro.machine.cost import CostParams
 from repro.machine.validate import ParameterError, require
+from repro.sched.scheduler import Schedule, Scheduler
 from repro.util.randmat import random_dense, random_lower_triangular
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamRequest:
     """One synthetic solve in the stream: shape plus arrival time."""
 
@@ -85,6 +86,8 @@ def replay(
     verify: bool = True,
     policy=None,
     cache: bool = True,
+    shared_operands: bool = False,
+    pricing_cache: bool = True,
 ) -> ClusterOutcome:
     """Submit a stream to a fresh Cluster and run it to completion.
 
@@ -96,15 +99,74 @@ def replay(
     :mod:`repro.sched.policies`) and ``cache=False`` disables the staged-
     copy operand cache — the gap report runs every policy uncached so the
     comparison is apples-to-apples with the (cache-incompatible) optimum.
+
+    ``shared_operands=True`` hosts **one** ``(L, B)`` pair per distinct
+    ``(n, k)`` shape (seeded by the shape's first stream entry) and lets
+    every same-shape request reference it — the serve-scale regime where
+    the operand cache, the routing-plan cache and the pricing memo all
+    amortize across the stream.  ``pricing_cache=False`` re-derives every
+    scheduler price (the pre-memo behavior, for parity benches).
     """
-    cluster = Cluster(p, params=params, cache=cache, policy=policy)
+    cluster = Cluster(
+        p, params=params, cache=cache, policy=policy, pricing_cache=pricing_cache
+    )
+    shared: dict[tuple[int, int], tuple] = {}
     for s in stream:
-        L = random_lower_triangular(s.n, seed=s.seed)
-        B = random_dense(s.n, s.k, seed=s.seed + 1)
-        if resident:
-            L, B = cluster.host(L), cluster.host(B)
+        if resident and shared_operands:
+            pair = shared.get((s.n, s.k))
+            if pair is None:
+                L = cluster.host(random_lower_triangular(s.n, seed=s.seed))
+                B = cluster.host(random_dense(s.n, s.k, seed=s.seed + 1))
+                pair = shared[(s.n, s.k)] = (L, B)
+            L, B = pair
+        else:
+            L = random_lower_triangular(s.n, seed=s.seed)
+            B = random_dense(s.n, s.k, seed=s.seed + 1)
+            if resident:
+                L, B = cluster.host(L), cluster.host(B)
         cluster.submit(TrsmRequest(L=L, B=B, verify=verify, arrival=s.arrival))
     return cluster.run()
+
+
+def schedule_stream(
+    stream: list[StreamRequest],
+    p: int,
+    params: CostParams | None = None,
+    policy=None,
+    cache: bool = True,
+    pricing_cache: bool = True,
+) -> Schedule:
+    """Pack a stream onto the subgrid pool **without executing it**.
+
+    The scheduling-only counterpart of :func:`replay`: operands are hosted
+    once per distinct ``(n, k)`` shape (as ``shared_operands`` replay
+    does), the queue is priced and packed exactly as ``Cluster.run``
+    would, and the resulting :class:`~repro.sched.scheduler.Schedule` is
+    returned with the pool drained — no solve runs, no block moves.  This
+    is the scheduler+routing hot path in isolation, which is what the
+    serve-scale throughput bench measures and what capacity planning
+    ("how would this day of traffic pack?") actually needs.
+    """
+    cluster = Cluster(
+        p, params=params, cache=cache, policy=policy, pricing_cache=pricing_cache
+    )
+    shared: dict[tuple[int, int], tuple] = {}
+    requests = []
+    for s in stream:
+        pair = shared.get((s.n, s.k))
+        if pair is None:
+            L = cluster.host(random_lower_triangular(s.n, seed=s.seed))
+            B = cluster.host(random_dense(s.n, s.k, seed=s.seed + 1))
+            pair = shared[(s.n, s.k)] = (L, B)
+        L, B = pair
+        requests.append(TrsmRequest(L=L, B=B, verify=False, arrival=s.arrival))
+    return Scheduler(
+        cluster.pool,
+        cluster.params,
+        cache=cluster.opcache,
+        policy=cluster.policy,
+        pricing_cache=pricing_cache,
+    ).schedule(requests)
 
 
 def replay_mixed(

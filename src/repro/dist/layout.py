@@ -115,13 +115,21 @@ class Layout:
         parameters but forgets to override ``_key()`` only mis-answers
         equality, it must never be served another instance's cached maps.
         Covers ``__slots__``-declared attributes as well as ``__dict__``.
+        Memoized per instance (layouts are immutable) — the serve hot
+        path fingerprints the same layout objects thousands of times.
         """
+        memo = self.__dict__.get("_fingerprint_memo")
+        if memo is not None:
+            return memo
         state = dict(self.__dict__)
+        state.pop("_fingerprint_memo", None)
         for klass in type(self).__mro__:
             for name in getattr(klass, "__slots__", ()):
                 if hasattr(self, name):
                     state[name] = getattr(self, name)
-        return (type(self).__qualname__, tuple(sorted(state.items())))
+        memo = (type(self).__qualname__, tuple(sorted(state.items())))
+        self.__dict__["_fingerprint_memo"] = memo
+        return memo
 
     def _axis_maps(
         self, axis: int, size: int

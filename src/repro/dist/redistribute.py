@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
 from repro.dist.layout import Layout
-from repro.dist.routing import End, RoutingPlan, fuse_transitions
+from repro.dist.routing import End, RoutingPlan, fuse_transitions, routing_plan
 from repro.machine.collectives import sendrecv
 from repro.machine.validate import GridError, ShapeError, require
 
@@ -49,7 +49,7 @@ def redistribute(
     (including degenerate spellings of the same distribution) moves nothing,
     charges nothing, and returns ``D`` itself.
     """
-    plan = RoutingPlan(End.of(D), End(grid, layout, D.shape), D.shape)
+    plan = routing_plan(End.of(D), End(grid, layout, D.shape), D.shape)
     plan.charge(D.machine, label)
     if plan.is_free() and grid == D.grid and layout == D.layout:
         # No word crossed a rank boundary and both sides are spelled the
@@ -129,7 +129,7 @@ def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
     # No pairing: route the transposed view exactly (the result keeps the
     # source layout, as the rectangular-grid fallback always did).
     result_layout = layout if layout is not None else D.layout
-    plan = RoutingPlan(
+    plan = routing_plan(
         End(grid, D.layout, (m, n), transpose=True),
         End(grid, result_layout, (n, m)),
         (n, m),
@@ -166,7 +166,7 @@ def extract_submatrix(
     """
     _check_window(D, r0, r1, c0, c1)
     shape = (r1 - r0, c1 - c0)
-    plan = RoutingPlan(
+    plan = routing_plan(
         End.window_of(D, r0, c0), End(D.grid, D.layout, shape), shape
     )
     plan.charge(D.machine, label)
@@ -267,7 +267,7 @@ def staging_plan(D: DistMatrix, grid, layout: Layout) -> RoutingPlan:
     modeled makespan includes the true per-pair migration cost of staging
     cluster-resident operands (no all-to-all bound anywhere).
     """
-    return RoutingPlan(End.of(D), End(grid, layout, D.shape), D.shape)
+    return routing_plan(End.of(D), End(grid, layout, D.shape), D.shape)
 
 
 def stage_matrix(

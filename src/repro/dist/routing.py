@@ -33,10 +33,28 @@ Plans also *move* the data: :meth:`RoutingPlan.apply` routes blocks
 directly from source ranks to destination ranks, which is what lets the
 hot paths in :mod:`repro.dist.redistribute` and :mod:`repro.mm.mm3d` skip
 the ``DistMatrix.to_global()`` scratch assembly.
+
+Two serve-scale mechanisms sit on top (both bit-identical to the original
+per-pair loops, which are pinned verbatim in
+:mod:`repro.dist.routing_reference` and replayed by the hypothesis parity
+suite):
+
+* the pair enumeration, per-rank traffic summaries and block routing are
+  **vectorized** — one stable argsort/group-by over owner pairs per axis,
+  computed once per plan and shared by :meth:`RoutingPlan.pairs`,
+  :meth:`RoutingPlan.cost`, :meth:`RoutingPlan.charge_pointwise` and
+  :meth:`RoutingPlan.apply`;
+* :func:`routing_plan` memoizes whole plans in an LRU keyed by the two
+  ends' full fingerprints plus the frame shape, so a stream of requests
+  re-pricing and re-staging the same transitions builds each plan once
+  (:func:`plan_cache_stats` / :func:`clear_plan_cache` for tests,
+  :func:`set_plan_cache_enabled` / :func:`set_reference_mode` for parity
+  benches).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -46,6 +64,22 @@ from repro.machine.cost import Cost
 from repro.machine.validate import ShapeError, require
 
 Blocks = Mapping[int, np.ndarray]
+
+#: per-(sender, receiver) word counts and bincount keys must stay
+#: addressable by 32-bit message-count APIs; guarded at plan construction
+#: (accumulators are int64 throughout, so the guard is exact).
+INT32_LIMIT = 2**31 - 1
+
+#: when True every RoutingPlan method delegates to the pinned pre-
+#: vectorization loops in repro.dist.routing_reference (parity benches)
+_REFERENCE_MODE = False
+
+#: (src fingerprint, dst fingerprint, shape) -> RoutingPlan, LRU order
+_PLAN_CACHE: "OrderedDict[tuple, RoutingPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 1024
+_PLAN_CACHE_ENABLED = True
+_PLAN_CACHE_HITS = 0
+_PLAN_CACHE_MISSES = 0
 
 
 class End:
@@ -194,10 +228,36 @@ class End:
         coord = (b, a) if self.transpose else (a, b)
         return self.grid.rank(coord)
 
+    def rank_matrix(self) -> np.ndarray:
+        """Rank lookup in frame-axis orientation: ``rank_matrix()[a, b]``
+        equals :meth:`rank` ``(a, b)`` (vectorized, no per-pair calls)."""
+        ranks = self.grid.rank_array
+        return ranks.T if self.transpose else ranks
+
     def local_view(self, blocks: Blocks, a: int, b: int) -> np.ndarray:
         """The local block at frame coords ``(a, b)``, frame-oriented."""
         block = blocks[self.rank(a, b)]
         return block.T if self.transpose else block
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity of everything a routing plan derives from.
+
+        Two ends with equal fingerprints produce identical owner maps,
+        rank matrices and therefore identical plans — the contract the
+        :func:`routing_plan` LRU cache is keyed on.  The layout part is
+        the full attribute fingerprint (see :meth:`Layout._fingerprint`),
+        so a layout subclass can never alias another's plans.
+        """
+        return (
+            self.grid.shape,
+            self.grid.rank_array.tobytes(),
+            self.layout._fingerprint(),
+            self.full_shape,
+            self.offset,
+            self.transpose,
+            None if self.rows is None else self.rows.tobytes(),
+            None if self.cols is None else self.cols.tobytes(),
+        )
 
 
 class RoutingPlan:
@@ -226,9 +286,79 @@ class RoutingPlan:
         self._C = np.bincount(sco * d_pc + dco, minlength=s_pc * d_pc).reshape(
             s_pc, d_pc
         )
+        # Overflow guard: bincount keys are bounded by the coordinate-pair
+        # products, per-pair word counts by max(R) * max(C); both must fit
+        # an int32 (the accumulators themselves are int64 throughout).
+        require(
+            s_pr * d_pr <= INT32_LIMIT and s_pc * d_pc <= INT32_LIMIT,
+            ShapeError,
+            f"owner-pair bincount key space ({s_pr} x {d_pr}, {s_pc} x "
+            f"{d_pc}) exceeds the int32 limit",
+        )
+        max_words = int(self._R.max(initial=0)) * int(self._C.max(initial=0))
+        require(
+            max_words <= INT32_LIMIT,
+            ShapeError,
+            f"a per-(sender, receiver) message of {max_words} words exceeds "
+            f"the int32 limit ({INT32_LIMIT})",
+        )
         self._cost: Cost | None = None
+        self._pair_arrays_cache = None
+        self._per_rank_cache = None
+        self._pointwise_cache: dict[int, Cost] | None = None
+        self._groups_cache = None
 
     # -- the plan -----------------------------------------------------------
+
+    def _pair_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(src_ranks, dst_ranks, words)`` over all off-rank pairs.
+
+        Built once per plan from the outer product of the per-axis owner
+        intersections: row pairs in ``np.nonzero(R)`` order outer, column
+        pairs inner — exactly the reference loop's enumeration order, so
+        downstream consumers are bit-identical by construction.  Word
+        counts are int64.
+        """
+        cached = self._pair_arrays_cache
+        if cached is None:
+            R, C = self._R, self._C
+            ra, rx = np.nonzero(R)
+            cb, cy = np.nonzero(C)
+            src_ranks = self.src.rank_matrix()[ra[:, None], cb[None, :]].ravel()
+            dst_ranks = self.dst.rank_matrix()[rx[:, None], cy[None, :]].ravel()
+            words = (
+                R[ra, rx].astype(np.int64)[:, None]
+                * C[cb, cy].astype(np.int64)[None, :]
+            ).ravel()
+            off_rank = src_ranks != dst_ranks
+            cached = self._pair_arrays_cache = (
+                src_ranks[off_rank],
+                dst_ranks[off_rank],
+                words[off_rank],
+            )
+        return cached
+
+    def _per_rank(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-rank traffic: ``(ranks, sent, recv, send_pairs, recv_pairs)``
+        over the ascending union of ranks that move at least one word."""
+        cached = self._per_rank_cache
+        if cached is None:
+            sr, dr, words = self._pair_arrays()
+            ranks = np.unique(np.concatenate((sr, dr)))
+            sid = np.searchsorted(ranks, sr)
+            did = np.searchsorted(ranks, dr)
+            w = words.astype(np.float64)
+            n = len(ranks)
+            cached = self._per_rank_cache = (
+                ranks,
+                np.bincount(sid, weights=w, minlength=n),
+                np.bincount(did, weights=w, minlength=n),
+                np.bincount(sid, minlength=n),
+                np.bincount(did, minlength=n),
+            )
+        return cached
 
     def pairs(self) -> list[tuple[int, int, int]]:
         """All nonempty off-rank messages as ``(src_rank, dst_rank, words)``.
@@ -236,38 +366,33 @@ class RoutingPlan:
         Words between the source rank at frame coords ``(a, b)`` and the
         destination rank at ``(x, y)`` factor as ``R[a, x] * C[b, y]``.
         """
-        out = []
-        R, C = self._R, self._C
-        for a, x in zip(*np.nonzero(R)):
-            for b, y in zip(*np.nonzero(C)):
-                sr = self.src.rank(int(a), int(b))
-                dr = self.dst.rank(int(x), int(y))
-                if sr != dr:
-                    out.append((sr, dr, int(R[a, x] * C[b, y])))
-        return out
+        if _REFERENCE_MODE:
+            from repro.dist.routing_reference import reference_pairs
+
+            return reference_pairs(self)
+        sr, dr, words = self._pair_arrays()
+        return list(zip(sr.tolist(), dr.tolist(), words.tolist()))
 
     def cost(self) -> Cost:
         """The exact transition charge (full-duplex critical path)."""
         if self._cost is None:
-            sent: dict[int, float] = {}
-            recv: dict[int, float] = {}
-            s_pairs: dict[int, int] = {}
-            r_pairs: dict[int, int] = {}
-            for sr, dr, words in self.pairs():
-                sent[sr] = sent.get(sr, 0.0) + words
-                recv[dr] = recv.get(dr, 0.0) + words
-                s_pairs[sr] = s_pairs.get(sr, 0) + 1
-                r_pairs[dr] = r_pairs.get(dr, 0) + 1
-            ranks = set(sent) | set(recv)
-            S = max(
-                (max(s_pairs.get(r, 0), r_pairs.get(r, 0)) for r in ranks),
-                default=0,
-            )
-            W = max(
-                (max(sent.get(r, 0.0), recv.get(r, 0.0)) for r in ranks),
-                default=0.0,
-            )
-            self._cost = Cost(S=float(S), W=float(W), F=0.0)
+            if _REFERENCE_MODE:
+                from repro.dist.routing_reference import reference_cost
+
+                self._cost = reference_cost(self)
+                return self._cost
+            ranks, sent, recv, s_pairs, r_pairs = self._per_rank()
+            if len(ranks) == 0:
+                self._cost = Cost(S=0.0, W=0.0, F=0.0)
+            else:
+                # float sums of int word counts are exact below 2**53, so
+                # the vectorized maxima match the reference dict sums bit
+                # for bit
+                self._cost = Cost(
+                    S=float(np.maximum(s_pairs, r_pairs).max()),
+                    W=float(np.maximum(sent, recv).max()),
+                    F=0.0,
+                )
         return self._cost
 
     def is_free(self) -> bool:
@@ -301,26 +426,33 @@ class RoutingPlan:
         starts after its operands arrive.  Returns the plan's aggregate
         critical-path cost (what :meth:`cost` reports).
         """
-        sent: dict[int, float] = {}
-        recv: dict[int, float] = {}
-        s_pairs: dict[int, int] = {}
-        r_pairs: dict[int, int] = {}
-        for sr, dr, words in self.pairs():
-            sent[sr] = sent.get(sr, 0.0) + words
-            recv[dr] = recv.get(dr, 0.0) + words
-            s_pairs[sr] = s_pairs.get(sr, 0) + 1
-            r_pairs[dr] = r_pairs.get(dr, 0) + 1
-        costs = {
-            r: Cost(
-                S=float(max(s_pairs.get(r, 0), r_pairs.get(r, 0))),
-                W=float(max(sent.get(r, 0.0), recv.get(r, 0.0))),
-                F=0.0,
-            )
-            for r in set(sent) | set(recv)
-        }
+        costs = self._pointwise_costs()
         if costs:
             machine.charge_local(costs, label=label)
         return self.cost()
+
+    def _pointwise_costs(self) -> dict[int, Cost]:
+        """Per-rank local charges of :meth:`charge_pointwise` (memoized).
+
+        Ranks ascend (the reference iterates a set union; charges to
+        distinct ranks commute, and the per-rank values are bit-identical).
+        """
+        if _REFERENCE_MODE:
+            from repro.dist.routing_reference import reference_pointwise_costs
+
+            return reference_pointwise_costs(self)
+        cached = self._pointwise_cache
+        if cached is None:
+            ranks, sent, recv, s_pairs, r_pairs = self._per_rank()
+            partners = np.maximum(s_pairs, r_pairs)
+            volume = np.maximum(sent, recv)
+            cached = self._pointwise_cache = {
+                r: Cost(S=float(s), W=float(w), F=0.0)
+                for r, s, w in zip(
+                    ranks.tolist(), partners.tolist(), volume.tolist()
+                )
+            }
+        return cached
 
     def alltoall_bound(self, collective_model=None) -> Cost:
         """The old uniform bound this plan replaces (for comparison/tests):
@@ -340,6 +472,46 @@ class RoutingPlan:
 
     # -- data movement ------------------------------------------------------
 
+    @staticmethod
+    def _group_axis(
+        so: np.ndarray, do: np.ndarray, sp: np.ndarray, dp: np.ndarray, d_size: int
+    ) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
+        """Group one frame axis by (source coord, destination coord) pair.
+
+        One stable argsort over ``src_owner * d_size + dst_owner`` replaces
+        the reference's per-pair ``np.nonzero((so == a) & (do == x))``
+        scans.  Keys iterate in ``np.nonzero`` row-major order and the
+        position arrays ascend within each group (the stable sort keeps
+        the original ascending frame indices), so the routed assignments
+        are identical element for element.
+        """
+        key = so * d_size + do
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        groups: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        if len(sorted_key) == 0:
+            return groups
+        starts = np.flatnonzero(np.diff(sorted_key)) + 1
+        bounds = np.concatenate(([0], starts, [len(sorted_key)]))
+        for i in range(len(bounds) - 1):
+            idx = order[bounds[i] : bounds[i + 1]]
+            a, x = divmod(int(sorted_key[bounds[i]]), d_size)
+            groups[(a, x)] = (sp[idx], dp[idx])
+        return groups
+
+    def _groups(self):
+        """Per-plan (row groups, column groups) for :meth:`apply` — both
+        axes' intersections are computed once per plan, not per call."""
+        cached = self._groups_cache
+        if cached is None:
+            sro, srp, sco, scp, dro, drp, dco, dcp = self._maps
+            d_pr, d_pc = self.dst.axis_sizes()
+            cached = self._groups_cache = (
+                self._group_axis(sro, dro, srp, drp, d_pr),
+                self._group_axis(sco, dco, scp, dcp, d_pc),
+            )
+        return cached
+
     def apply(
         self, blocks: Blocks, out: dict[int, np.ndarray] | None = None
     ) -> dict[int, np.ndarray]:
@@ -352,6 +524,10 @@ class RoutingPlan:
         matrix routed into itself), the source is snapshotted first so
         reads never observe partial writes.  Returns ``out``.
         """
+        if _REFERENCE_MODE:
+            from repro.dist.routing_reference import reference_apply
+
+            return reference_apply(self, blocks, out=out)
         if out is None:
             out = {
                 self.dst.grid.rank(coord): np.zeros(
@@ -361,26 +537,18 @@ class RoutingPlan:
             }
         elif any(dst_b is src_b for dst_b in out.values() for src_b in blocks.values()):
             blocks = {r: b.copy() for r, b in blocks.items()}
-        sro, srp, sco, scp, dro, drp, dco, dcp = self._maps
-        R, C = self._R, self._C
-        col_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
-        for a, x in zip(*np.nonzero(R)):
-            ridx = np.nonzero((sro == a) & (dro == x))[0]
-            rs, rd = srp[ridx], drp[ridx]
-            for b, y in zip(*np.nonzero(C)):
-                key = (int(b), int(y))
-                hit = col_cache.get(key)
-                if hit is None:
-                    cidx = np.nonzero((sco == b) & (dco == y))[0]
-                    hit = col_cache[key] = (scp[cidx], dcp[cidx])
-                cs, cd = hit
-                src_view = self.src.local_view(blocks, int(a), int(b))
-                dst_block = out[self.dst.rank(int(x), int(y))]
+        row_groups, col_groups = self._groups()
+        dst_ranks = self.dst.rank_matrix()
+        dst_transpose = self.dst.transpose
+        for (a, x), (rs, rd) in row_groups.items():
+            for (b, y), (cs, cd) in col_groups.items():
+                src_view = self.src.local_view(blocks, a, b)
+                dst_block = out[int(dst_ranks[x, y])]
                 # Write through the frame orientation: for a transposed
                 # destination end the block is stored layout-oriented, so
                 # the frame view is its transpose (fancy assignment into a
                 # .T view writes the underlying block).
-                dst_view = dst_block.T if self.dst.transpose else dst_block
+                dst_view = dst_block.T if dst_transpose else dst_block
                 dst_view[np.ix_(rd, cd)] = src_view[np.ix_(rs, cs)]
         return out
 
@@ -389,6 +557,80 @@ def _end_extent(end: End, shape: tuple[int, int]) -> tuple[int, int]:
     """The matrix extent the old bound sized its per-rank footprint on:
     the frame, in the end's own layout orientation."""
     return (shape[1], shape[0]) if end.transpose else shape
+
+
+# ---------------------------------------------------------------------------
+# the plan cache (serve-scale reuse of identical transitions)
+# ---------------------------------------------------------------------------
+
+
+def routing_plan(src: End, dst: End, shape: tuple[int, int]) -> RoutingPlan:
+    """A :class:`RoutingPlan` between two ends, memoized in an LRU cache.
+
+    Keyed by both ends' full :meth:`End.fingerprint` plus the frame shape
+    — equal fingerprints derive identical owner maps and rank matrices,
+    so a cached plan is interchangeable with a fresh one (including its
+    memoized pair arrays, per-rank traffic and apply groups, which is the
+    point: a stream of requests staging the same operands onto congruent
+    subgrids builds each plan once).  Plans are index maps only — they
+    hold no matrix data — so reuse across requests is safe by
+    construction.
+    """
+    if not _PLAN_CACHE_ENABLED:
+        return RoutingPlan(src, dst, shape)
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    key = (
+        src.fingerprint(),
+        dst.fingerprint(),
+        None if shape is None else (int(shape[0]), int(shape[1])),
+    )
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_CACHE_HITS += 1
+        _PLAN_CACHE.move_to_end(key)
+        return plan
+    _PLAN_CACHE_MISSES += 1
+    plan = RoutingPlan(src, dst, shape)
+    _PLAN_CACHE[key] = plan
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Lifetime hit/miss counters and current entry count (for tests)."""
+    return {
+        "hits": _PLAN_CACHE_HITS,
+        "misses": _PLAN_CACHE_MISSES,
+        "entries": len(_PLAN_CACHE),
+    }
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized plans and reset the counters."""
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_HITS = 0
+    _PLAN_CACHE_MISSES = 0
+
+
+def set_plan_cache_enabled(enabled: bool) -> bool:
+    """Toggle the :func:`routing_plan` LRU; returns the previous setting
+    (parity benches restore it in a ``finally``)."""
+    global _PLAN_CACHE_ENABLED
+    previous = _PLAN_CACHE_ENABLED
+    _PLAN_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def set_reference_mode(enabled: bool) -> bool:
+    """Route every plan through the pinned pre-vectorization loops in
+    :mod:`repro.dist.routing_reference`; returns the previous setting.
+    For parity tests and the before/after throughput bench only."""
+    global _REFERENCE_MODE
+    previous = _REFERENCE_MODE
+    _REFERENCE_MODE = bool(enabled)
+    return previous
 
 
 class TransitionPlan:
@@ -407,12 +649,12 @@ class TransitionPlan:
         require(len(ends) >= 2, ShapeError, "a transition chain needs >= 2 ends")
         self.ends = list(ends)
         self.shape = (int(shape[0]), int(shape[1]))
-        self.fused = RoutingPlan(self.ends[0], self.ends[-1], self.shape)
+        self.fused = routing_plan(self.ends[0], self.ends[-1], self.shape)
 
     def step_plans(self) -> list[RoutingPlan]:
         """The unfused chain, one plan per consecutive pair of ends."""
         return [
-            RoutingPlan(a, b, self.shape)
+            routing_plan(a, b, self.shape)
             for a, b in zip(self.ends[:-1], self.ends[1:])
         ]
 
@@ -440,6 +682,26 @@ def fuse_transitions(ends: Sequence[End], shape: tuple[int, int]) -> TransitionP
     return TransitionPlan(ends, shape)
 
 
+def _owner_groups(owners: np.ndarray) -> list[tuple[int, np.ndarray]]:
+    """``(coord, ascending frame indices)`` per distinct owner coordinate.
+
+    One stable argsort replaces the ``np.unique`` + per-coord ``np.nonzero``
+    scans: coordinates ascend and each index array is exactly what
+    ``np.nonzero(owners == coord)[0]`` returned, so gathered/scattered
+    elements land identically.
+    """
+    order = np.argsort(owners, kind="stable")
+    sorted_owners = owners[order]
+    if len(sorted_owners) == 0:
+        return []
+    starts = np.flatnonzero(np.diff(sorted_owners)) + 1
+    bounds = np.concatenate(([0], starts, [len(sorted_owners)]))
+    return [
+        (int(sorted_owners[bounds[i]]), order[bounds[i] : bounds[i + 1]])
+        for i in range(len(bounds) - 1)
+    ]
+
+
 def gather_frame(end: End, blocks: Blocks, shape: tuple[int, int] | None = None) -> np.ndarray:
     """Assemble an end's frame into a dense local array (cost-free plumbing).
 
@@ -451,11 +713,10 @@ def gather_frame(end: End, blocks: Blocks, shape: tuple[int, int] | None = None)
     fm, fn = end.frame_shape(shape)
     ro, rp, co, cp = end.frame_maps((fm, fn))
     out = np.zeros((fm, fn))
-    col_sel = [(b, np.nonzero(co == b)[0]) for b in np.unique(co)]
-    for a in np.unique(ro):
-        ridx = np.nonzero(ro == a)[0]
+    col_sel = _owner_groups(co)
+    for a, ridx in _owner_groups(ro):
         for b, cidx in col_sel:
-            view = end.local_view(blocks, int(a), int(b))
+            view = end.local_view(blocks, a, b)
             out[np.ix_(ridx, cidx)] = view[np.ix_(rp[ridx], cp[cidx])]
     return out
 
@@ -474,10 +735,9 @@ def scatter_frame(
     frame = np.asarray(frame)
     fm, fn = end.frame_shape(frame.shape)
     ro, rp, co, cp = end.frame_maps((fm, fn))
-    col_sel = [(b, np.nonzero(co == b)[0]) for b in np.unique(co)]
-    for a in np.unique(ro):
-        ridx = np.nonzero(ro == a)[0]
+    col_sel = _owner_groups(co)
+    for a, ridx in _owner_groups(ro):
         for b, cidx in col_sel:
-            view = end.local_view(out, int(a), int(b))
+            view = end.local_view(out, a, b)
             view[np.ix_(rp[ridx], cp[cidx])] = frame[np.ix_(ridx, cidx)]
     return out

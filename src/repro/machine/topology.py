@@ -58,6 +58,11 @@ class ProcessorGrid:
     def size(self) -> int:
         return int(self._ranks.size)
 
+    @property
+    def rank_array(self) -> np.ndarray:
+        """The underlying (read-only) rank ndarray — vectorized rank lookup."""
+        return self._ranks
+
     def ranks(self) -> list[int]:
         """All machine ranks in this grid, in C (row-major) coordinate order."""
         return [int(r) for r in self._ranks.reshape(-1)]

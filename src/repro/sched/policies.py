@@ -41,7 +41,7 @@ from repro.sched.allocator import SubgridAllocator
 _TIE = 1e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Candidate:
     """One priced placement option: a request on a concrete subgrid, now."""
 
@@ -55,7 +55,7 @@ class Candidate:
     finish: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """What :meth:`PackingPolicy.choose` returns: place this request here."""
 
@@ -73,6 +73,12 @@ class PolicyContext:
     :meth:`arrived` filters to those the policy may actually place now.
     ``running`` lists committed, unfinished placements as
     ``(finish, index, size, grid)`` in finish order.
+
+    ``arrived`` and ``memo`` are performance hooks the scheduler may
+    supply: a pre-filtered arrived list (so :meth:`arrived` skips the
+    queue scan) and a :class:`~repro.sched.pricing.PricingMemo` every
+    pricing helper then routes through.  Without them the helpers fall
+    back to the original direct computations, value for value.
     """
 
     def __init__(
@@ -83,6 +89,9 @@ class PolicyContext:
         pending: Sequence[tuple[int, object]],
         running: Sequence[tuple[float, int, int, ProcessorGrid]],
         pricer: Callable[[object, ProcessorGrid], tuple[Cost, Cost, tuple]],
+        *,
+        arrived: Sequence[tuple[int, object]] | None = None,
+        memo=None,
     ):
         self.now = now
         self.allocator = allocator
@@ -90,6 +99,8 @@ class PolicyContext:
         self.pending = pending
         self.running = running
         self._pricer = pricer
+        self._arrived = arrived
+        self._memo = memo
 
     @property
     def capacity(self) -> int:
@@ -97,15 +108,27 @@ class PolicyContext:
 
     def arrived(self) -> list[tuple[int, object]]:
         """Unplaced requests whose arrival time has passed, queue order."""
+        if self._arrived is not None:
+            return list(self._arrived)
         return [it for it in self.pending if it[1].arrival <= self.now]
 
     # -- pricing ------------------------------------------------------------
 
+    def candidate_sizes(self, req) -> list[int]:
+        """The request's candidate subgrid sizes on this pool (memoized)."""
+        if self._memo is not None:
+            return self._memo.sizes(req)
+        return req.candidate_sizes(self.capacity)
+
     def exec_seconds(self, req, size: int) -> float:
+        if self._memo is not None:
+            return self._memo.exec_seconds(req, size)
         return req.modeled_cost(size, self.params).time(self.params)
 
     def min_exec_seconds(self, req) -> float:
         """Best-case execution seconds over the request's candidate sizes."""
+        if self._memo is not None:
+            return self._memo.min_exec_seconds(req)
         return min(
             (self.exec_seconds(req, s) for s in req.candidate_sizes(self.capacity)),
             default=0.0,
@@ -113,6 +136,8 @@ class PolicyContext:
 
     def min_area(self, req) -> float:
         """Fewest rank-seconds any placement of ``req`` consumes."""
+        if self._memo is not None:
+            return self._memo.min_area(req)
         return min(
             (s * self.exec_seconds(req, s) for s in req.candidate_sizes(self.capacity)),
             default=0.0,
@@ -120,6 +145,8 @@ class PolicyContext:
 
     def rest_area(self, index: int) -> float:
         """Minimum rank-seconds the rest of the queue still owes."""
+        if self._memo is not None:
+            return self._memo.rest_area(index)
         return sum(self.min_area(r) for j, r in self.pending if j != index)
 
     def price(
@@ -142,7 +169,10 @@ class PolicyContext:
         if grid is None:
             return None
         staging, saved, targets = self._pricer(req, grid)
-        modeled = req.modeled_cost(size, self.params)
+        if self._memo is not None:
+            modeled = self._memo.modeled_cost(req, size)
+        else:
+            modeled = req.modeled_cost(size, self.params)
         duration = staging.time(self.params) + modeled.time(self.params)
         return Candidate(
             size=size,
@@ -169,7 +199,7 @@ class PolicyContext:
         reservation).
         """
         best: tuple[float, Candidate] | None = None
-        for size in req.candidate_sizes(self.capacity):
+        for size in self.candidate_sizes(req):
             cand = self.price(req, size)
             if cand is None:
                 continue
@@ -207,7 +237,7 @@ class PolicyContext:
         it already fits, ``None`` when it can never fit (no candidate
         size is allocatable even in a drained pool).
         """
-        sizes = req.candidate_sizes(self.capacity)
+        sizes = self.candidate_sizes(req)
         if not sizes:
             return None
         smallest = min(sizes)
@@ -431,7 +461,7 @@ class OptimalPolicy(PackingPolicy):
         items = list(ctx.pending)
         req_by = dict(items)
         arrival = {i: req.arrival for i, req in items}
-        sizes = {i: req.candidate_sizes(capacity) for i, req in items}
+        sizes = {i: ctx.candidate_sizes(req) for i, req in items}
         pool = ctx.scratch_pool()
         best: dict = {"makespan": float("inf"), "plan": None}
         seen: dict = {}

@@ -46,14 +46,16 @@ they touch.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.machine.cost import Cost, CostParams
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import ParameterError, require
 from repro.sched.allocator import SubgridAllocator
 from repro.sched.policies import PackingPolicy, PolicyContext, make_policy
+from repro.sched.pricing import PricingMemo
 
 
 class SchedulableRequest(Protocol):
@@ -68,7 +70,39 @@ class SchedulableRequest(Protocol):
     def staging_cost(self, grid: ProcessorGrid, params: CostParams) -> Cost: ...
 
 
-@dataclass
+class _LazyList:
+    """A sequence materialized on first access.
+
+    The event loop builds a :class:`~repro.sched.policies.PolicyContext`
+    for every policy consultation, but most consultations never touch
+    ``pending`` or ``running`` (the pricing helpers route through the
+    memo and the pre-filtered arrived list).  Deferring the sort/copy
+    behind this wrapper makes context construction O(1) while keeping the
+    attributes plain sequences for any policy that does iterate them.
+    """
+
+    __slots__ = ("_build", "_items")
+
+    def __init__(self, build: Callable[[], list]):
+        self._build = build
+        self._items: list | None = None
+
+    def _materialize(self) -> list:
+        if self._items is None:
+            self._items = self._build()
+        return self._items
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._materialize())
+
+    def __getitem__(self, i):
+        return self._materialize()[i]
+
+
+@dataclass(slots=True)
 class Assignment:
     """One request placed on one subgrid for one modeled time window."""
 
@@ -91,7 +125,7 @@ class Assignment:
     cache_misses: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Schedule:
     """The packed queue: assignments in start order plus aggregates."""
 
@@ -143,6 +177,7 @@ class Scheduler:
         params: CostParams | None = None,
         cache=None,
         policy: PackingPolicy | str | None = None,
+        pricing_cache: bool = True,
     ):
         self.allocator = allocator
         self.params = params or CostParams()
@@ -155,6 +190,9 @@ class Scheduler:
             "Cluster(cache=False))",
         )
         self.cache = cache
+        #: memoize pricing across decision points (bit-identical schedules;
+        #: pass False to re-derive every price, the pre-memo behavior)
+        self.pricing_cache = bool(pricing_cache)
 
     def schedule(self, requests: Sequence[SchedulableRequest]) -> Schedule:
         """Pack ``requests``; the pool is drained again when this returns."""
@@ -166,15 +204,63 @@ class Scheduler:
             "scheduling needs a drained pool (release running leases first)",
         )
         self.policy.reset(requests)
-        pending = list(enumerate(requests))
+        items = list(enumerate(requests))
+        memo: PricingMemo | None = None
+        if self.pricing_cache:
+            memo = PricingMemo(params, alloc.capacity)
+            memo.seed(items)
+        # The event queue: requests not yet arrived, in (arrival, index)
+        # order behind ``ptr``; arrived-but-unplaced requests live in
+        # ``arrived``, kept index-sorted (the queue order policies see).
+        # Advancing an arrival is a pointer bump, committing a placement a
+        # bisect — no O(queue) scan per event.
+        future = sorted(items, key=lambda it: (it[1].arrival, it[0]))
+        ptr = 0
+        arrived: list[tuple[int, object]] = []
         running: list[tuple[float, int, Assignment]] = []  # (finish, seq, a)
         out: list[Assignment] = []
         now, seq = 0.0, 0
         view = self.cache.plan() if self.cache is not None else None
         evictions: list[tuple[float, ProcessorGrid]] = []
 
+        def drain_arrivals() -> None:
+            nonlocal ptr
+            while ptr < len(future) and future[ptr][1].arrival <= now:
+                insort(arrived, future[ptr], key=lambda it: it[0])
+                ptr += 1
+
+        def pending_view() -> list[tuple[int, object]]:
+            # all unplaced requests in index order (what ``pending`` was)
+            return sorted(arrived + future[ptr:], key=lambda it: it[0])
+
+        def running_view() -> list[tuple[float, int, int, ProcessorGrid]]:
+            return [
+                (a.finish, a.index, a.size, a.grid)
+                for _, _, a in sorted(running, key=lambda r: r[:2])
+            ]
+
+        def remove_pending(index: int) -> None:
+            pos = bisect_left(arrived, index, key=lambda it: it[0])
+            if pos < len(arrived) and arrived[pos][0] == index:
+                del arrived[pos]
+                return
+            # a policy placed a request before its arrival drained; keep
+            # the future queue consistent (never happens for the built-ins)
+            for j in range(ptr, len(future)):
+                if future[j][0] == index:
+                    del future[j]
+                    return
+            raise AssertionError(f"placed request {index} is not pending")
+
+        def candidate_sizes(req: SchedulableRequest) -> list[int]:
+            if memo is not None:
+                return memo.sizes(req)
+            return req.candidate_sizes(alloc.capacity)
+
         def staging_for(req: SchedulableRequest, grid: ProcessorGrid):
             """(charged, saved, per-target decisions) for one placement."""
+            if memo is not None:
+                return memo.staging(req, grid, view)
             breakdown = getattr(req, "staging_breakdown", None)
             if view is None or breakdown is None:
                 return req.staging_cost(grid, params), Cost.zero(), ()
@@ -192,7 +278,8 @@ class Scheduler:
             alloc.on_destroy = on_destroy
         try:
             prev_state = None
-            while pending or running:
+            drain_arrivals()
+            while arrived or ptr < len(future) or running:
                 # A legal iteration places (seq grows), pops a finish
                 # (running shrinks), or advances the clock; anything else
                 # means the policy declined forever — fail loudly instead
@@ -213,12 +300,11 @@ class Scheduler:
                         now=now,
                         allocator=alloc,
                         params=params,
-                        pending=pending,
-                        running=[
-                            (a.finish, a.index, a.size, a.grid)
-                            for _, _, a in sorted(running, key=lambda r: r[:2])
-                        ],
+                        pending=_LazyList(pending_view),
+                        running=_LazyList(running_view),
                         pricer=staging_for,
+                        arrived=arrived,
+                        memo=memo,
                     )
                     decision = self.policy.choose(ctx)
                     if decision is None:
@@ -253,16 +339,17 @@ class Scheduler:
                     heapq.heappush(running, (cand.finish, seq, a))
                     seq += 1
                     out.append(a)
-                    pending.remove((index, req))
+                    remove_pending(index)
+                    if memo is not None:
+                        memo.remove(index)
                     placed = True  # re-consult against the shrunken pool
                 # Advance to the next event: the earliest running finish OR the
                 # next arrival, whichever comes first — a request arriving while
                 # others run must be considered as soon as it arrives, not when
                 # the next tenant happens to finish (free capacity may be idle).
-                next_arrival = min(
-                    (it[1].arrival for it in pending if it[1].arrival > now),
-                    default=None,
-                )
+                # Everything behind ``ptr`` has arrived (drained below), so the
+                # next arrival is the head of the future queue.
+                next_arrival = future[ptr][1].arrival if ptr < len(future) else None
                 if running:
                     next_finish = running[0][0]
                     if next_arrival is not None and next_arrival < next_finish:
@@ -277,12 +364,13 @@ class Scheduler:
                 elif next_arrival is not None:
                     # Nothing running and nothing placeable has arrived yet.
                     now = next_arrival
+                drain_arrivals()
                 require(
-                    not (not running and pending and all(it[1].arrival <= now for it in pending)
+                    not (not running and arrived and ptr >= len(future)
                          and not any(
                              alloc.can_allocate(s)
-                             for it in pending
-                             for s in it[1].candidate_sizes(alloc.capacity)
+                             for it in arrived
+                             for s in candidate_sizes(it[1])
                          )),
                     ParameterError,
                     "a pending request fits no allocatable subgrid size",

@@ -72,6 +72,24 @@ class TestServe:
         )
         assert "requests          : 3" in capsys.readouterr().out
 
+    def test_serve_profile_prints_hotspots(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "-p", "16", "--requests", "3",
+                    "--n-min", "32", "--n-max", "32",
+                    "--k-min", "8", "--k-max", "8",
+                    "--no-verify", "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # the normal report still prints, followed by the pstats table
+        assert "modeled makespan" in out
+        assert "profile (top 25 by cumulative time):" in out
+        assert "cumtime" in out
+
 
 class TestOtherCommands:
     def test_tune(self, capsys):

@@ -1,0 +1,309 @@
+"""Serve-scale fast-path parity: vectorized routing, plan cache, pricing memo.
+
+PR 6's throughput work is only admissible because nothing observable
+changed.  This suite pins that:
+
+* **vectorized routing parity** — the argsort/group-by implementations of
+  ``pairs``/``cost``/``charge_pointwise``/``apply`` are bit-identical to
+  the pinned pre-refactor loops in :mod:`repro.dist.routing_reference`,
+  property-tested across grids, layout families, shapes and transposed
+  destinations;
+* **plan cache** — :func:`repro.dist.routing.routing_plan` returns the
+  *same object* for equal (src, dst, shape) fingerprints, falls back to
+  fresh plans when disabled, evicts LRU-first, and cache-on/off schedules
+  are identical;
+* **overflow guard** — a plan whose per-pair word count cannot be held in
+  an int32 is rejected at construction instead of silently wrapping;
+* **pricing memo parity** — scheduling with the memo on and off yields
+  flatten-identical schedules on the pinned golden streams (FakeRequest:
+  the non-memoizable fallback path) and on real TRSM streams (the shared
+  ``pricing_key`` path), and equal keys share memo rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.cluster import Cluster
+from repro.api.requests import TrsmRequest
+from repro.api.serve import poisson_stream, schedule_stream
+from repro.dist import (
+    BlockCyclicLayout,
+    BlockedLayout,
+    CyclicLayout,
+    DistMatrix,
+    End,
+    RoutingPlan,
+)
+from repro.dist import routing
+from repro.dist.layout import Layout
+from repro.dist.routing_reference import (
+    reference_apply,
+    reference_cost,
+    reference_pairs,
+    reference_pointwise_costs,
+)
+from repro.machine import CostParams, Machine
+from repro.machine.validate import ShapeError
+from repro.sched import Scheduler
+from repro.sched.pricing import PricingMemo
+from repro.util.randmat import random_dense, random_lower_triangular
+from test_policies import FakeRequest, flatten, golden_stream, make_pool
+
+UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
+
+GRIDS = [(2, 2), (1, 3), (3, 1), (2, 4), (4, 4), (3, 3)]
+
+
+def make_layout(kind: str, pr: int, pc: int, br: int, bc: int) -> Layout:
+    if kind == "cyclic":
+        return CyclicLayout(pr, pc)
+    if kind == "blocked":
+        return BlockedLayout(pr, pc)
+    return BlockCyclicLayout(pr, pc, br=br, bc=bc)
+
+
+layout_kinds = st.sampled_from(["cyclic", "blocked", "blockcyclic"])
+
+
+@st.composite
+def transitions(draw):
+    pr, pc = draw(st.sampled_from(GRIDS))
+    m = draw(st.integers(1, 24))
+    n = draw(st.integers(1, 24))
+    mk = lambda: make_layout(  # noqa: E731 - local factory
+        draw(layout_kinds), pr, pc, draw(st.integers(1, 4)), draw(st.integers(1, 4))
+    )
+    return (pr, pc), (m, n), mk(), mk()
+
+
+class TestVectorizedRoutingParity:
+    """The group-by fast path is the old nonzero loop, bit for bit."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(t=transitions())
+    def test_pairs_cost_and_pointwise_match_reference(self, t):
+        (pr, pc), (m, n), la, lb = t
+        machine = Machine(pr * pc, params=UNIT)
+        grid = machine.grid(pr, pc)
+        plan = RoutingPlan(End(grid, la, (m, n)), End(grid, lb, (m, n)), (m, n))
+        assert plan.pairs() == reference_pairs(plan)
+        assert plan.cost() == reference_cost(plan)
+        assert plan._pointwise_costs() == reference_pointwise_costs(plan)
+
+    @settings(max_examples=50, deadline=None)
+    @given(t=transitions())
+    def test_apply_routes_identical_blocks(self, t):
+        (pr, pc), (m, n), la, lb = t
+        machine = Machine(pr * pc, params=UNIT)
+        grid = machine.grid(pr, pc)
+        A = np.arange(float(m * n)).reshape(m, n)
+        D = DistMatrix.from_global(machine, grid, la, A)
+        plan = RoutingPlan(End(grid, la, (m, n)), End(grid, lb, (m, n)), (m, n))
+        vec = plan.apply(D.blocks)
+        ref = reference_apply(plan, D.blocks)
+        assert set(vec) == set(ref)
+        for rank in vec:
+            assert vec[rank].shape == ref[rank].shape
+            assert vec[rank].tobytes() == ref[rank].tobytes()
+
+    def test_transposed_destination_apply_matches_reference(self):
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        A = np.arange(20.0).reshape(4, 5)
+        D = DistMatrix.from_global(machine, grid, CyclicLayout(2, 2), A)
+        plan = RoutingPlan(
+            End.of(D), End(grid, BlockedLayout(2, 2), (5, 4), transpose=True), (4, 5)
+        )
+        vec = plan.apply(D.blocks)
+        ref = reference_apply(plan, D.blocks)
+        for rank in vec:
+            assert vec[rank].tobytes() == ref[rank].tobytes()
+
+    def test_window_offset_apply_matches_reference(self):
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        A = np.arange(64.0).reshape(8, 8)
+        D = DistMatrix.from_global(machine, grid, BlockedLayout(2, 2), A)
+        plan = RoutingPlan(End.window_of(D, 3, 2), End.window_of(D, 0, 0), (4, 5))
+        vec = plan.apply(D.blocks)
+        ref = reference_apply(plan, D.blocks)
+        for rank in vec:
+            assert vec[rank].tobytes() == ref[rank].tobytes()
+
+    def test_reference_mode_toggle_round_trips(self):
+        """set_reference_mode returns the previous value and, while on,
+        routes the public plan methods through the pinned loops."""
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        plan = RoutingPlan(
+            End(grid, CyclicLayout(2, 2), (6, 6)),
+            End(grid, BlockedLayout(2, 2), (6, 6)),
+            (6, 6),
+        )
+        fast = (plan.pairs(), plan.cost())
+        prev = routing.set_reference_mode(True)
+        try:
+            assert prev is False
+            assert (plan.pairs(), plan.cost()) == fast
+        finally:
+            assert routing.set_reference_mode(prev) is True
+
+
+class TestPlanCache:
+    def test_equal_ends_reuse_the_same_plan_object(self):
+        routing.clear_plan_cache()
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        src = End(grid, CyclicLayout(2, 2), (8, 8))
+        dst = End(grid, BlockedLayout(2, 2), (8, 8))
+        p1 = routing.routing_plan(src, dst, (8, 8))
+        # fresh, *equal* End objects: the fingerprint key must still hit
+        p2 = routing.routing_plan(
+            End(grid, CyclicLayout(2, 2), (8, 8)),
+            End(grid, BlockedLayout(2, 2), (8, 8)),
+            (8, 8),
+        )
+        assert p1 is p2
+        stats = routing.plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+
+    def test_disabled_cache_builds_fresh_plans(self):
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        src = End(grid, CyclicLayout(2, 2), (8, 8))
+        dst = End(grid, BlockedLayout(2, 2), (8, 8))
+        prev = routing.set_plan_cache_enabled(False)
+        try:
+            p1 = routing.routing_plan(src, dst, (8, 8))
+            p2 = routing.routing_plan(src, dst, (8, 8))
+            assert p1 is not p2
+            assert p1.cost() == p2.cost()
+        finally:
+            routing.set_plan_cache_enabled(prev)
+
+    def test_lru_evicts_the_oldest_entry(self, monkeypatch):
+        routing.clear_plan_cache()
+        monkeypatch.setattr(routing, "_PLAN_CACHE_MAX", 2)
+        machine = Machine(4, params=UNIT)
+        grid = machine.grid(2, 2)
+        mk = lambda m: routing.routing_plan(  # noqa: E731 - local factory
+            End(grid, CyclicLayout(2, 2), (m, m)),
+            End(grid, BlockedLayout(2, 2), (m, m)),
+            (m, m),
+        )
+        a, b = mk(6), mk(8)
+        assert mk(6) is a  # touch a: b is now least-recently-used
+        c = mk(10)  # evicts b
+        assert routing.plan_cache_stats()["entries"] == 2
+        assert mk(10) is c and mk(6) is a
+        assert mk(8) is not b
+        routing.clear_plan_cache()
+
+    def test_clear_resets_stats(self):
+        routing.clear_plan_cache()
+        stats = routing.plan_cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_cache_on_off_schedules_identical(self):
+        stream = poisson_stream(
+            count=20, rate=2e5, n_range=(32, 64), k_range=(4, 8), seed=3
+        )
+        routing.clear_plan_cache()
+        on = schedule_stream(stream, p=16)
+        prev = routing.set_plan_cache_enabled(False)
+        try:
+            off = schedule_stream(stream, p=16)
+        finally:
+            routing.set_plan_cache_enabled(prev)
+        assert flatten(on) == flatten(off)
+
+
+class TestOverflowGuard:
+    def test_pair_word_count_above_int32_rejected(self):
+        """65536x65536 between two single-rank grids would put 2^32 words in
+        one pair — must be rejected, not silently wrapped."""
+        machine = Machine(2, params=UNIT)
+        g1 = machine.grid(1, 1)
+        g2 = machine.grid(1, 1)
+        m = 2**16
+        with pytest.raises(ShapeError):
+            RoutingPlan(
+                End(g1, BlockedLayout(1, 1), (m, m)),
+                End(g2, BlockedLayout(1, 1), (m, m)),
+                (m, m),
+            )
+
+    def test_just_below_the_limit_still_constructs(self):
+        machine = Machine(2, params=UNIT)
+        g1 = machine.grid(1, 1)
+        g2 = machine.grid(1, 1)
+        m = 2**15
+        plan = RoutingPlan(
+            End(g1, BlockedLayout(1, 1), (m, m)),
+            End(g2, BlockedLayout(1, 1), (m, m)),
+            (m, m),
+        )
+        assert plan.cost().W == float(m) * m
+
+
+class TestPricingMemoParity:
+    @pytest.mark.parametrize("policy", ["lpt", "backfill"])
+    @pytest.mark.parametrize(
+        "key", [(0, 7, 0.0), (1, 9, 3.0), (2, 12, 8.0)]
+    )
+    def test_fake_streams_memo_on_off_identical(self, policy, key):
+        """FakeRequest has no pricing_key and non-stock staging hooks: the
+        memo's fallback paths must still reproduce the uncached schedule."""
+        seed, count, max_arrival = key
+        on = Scheduler(
+            make_pool(16), UNIT, policy=policy, pricing_cache=True
+        ).schedule(golden_stream(seed, count, max_arrival))
+        off = Scheduler(
+            make_pool(16), UNIT, policy=policy, pricing_cache=False
+        ).schedule(golden_stream(seed, count, max_arrival))
+        assert flatten(on) == flatten(off)
+
+    @pytest.mark.parametrize("policy", ["lpt", "backfill"])
+    def test_trsm_stream_memo_on_off_identical(self, policy):
+        """Real TRSM streams (shared pricing keys, stock staging hooks):
+        memoized staging replay must match the live breakdown exactly."""
+        stream = poisson_stream(
+            count=25, rate=2e5, n_range=(32, 64), k_range=(4, 8), seed=5
+        )
+        on = schedule_stream(stream, p=16, policy=policy, pricing_cache=True)
+        off = schedule_stream(stream, p=16, policy=policy, pricing_cache=False)
+        assert flatten(on) == flatten(off)
+
+    def test_equal_pricing_keys_share_memo_rows(self):
+        cluster = Cluster(16)
+        L = cluster.host(random_lower_triangular(32, seed=0))
+        B = cluster.host(random_dense(32, 8, seed=1))
+        r1 = TrsmRequest(L=L, B=B, verify=False)
+        r2 = TrsmRequest(L=L, B=B, verify=False)
+        assert r1.pricing_key() is not None
+        assert r1.pricing_key() == r2.pricing_key()
+        memo = PricingMemo(cluster.params, capacity=16)
+        assert memo.sizes(r1) == memo.sizes(r2)
+        assert len(memo._sizes) == 1  # one shared row, not one per object
+
+    def test_fake_requests_fall_back_to_per_object_rows(self):
+        memo = PricingMemo(UNIT, capacity=16)
+        r1 = FakeRequest({4: 1.0})
+        r2 = FakeRequest({4: 1.0})
+        assert memo.sizes(r1) == memo.sizes(r2) == [4]
+        assert len(memo._sizes) == 2  # no pricing_key: rows stay private
+
+    def test_incremental_rest_area_tracks_commits(self):
+        memo = PricingMemo(UNIT, capacity=16)
+        reqs = [FakeRequest({4: float(i + 1)}) for i in range(4)]
+        items = list(enumerate(reqs))
+        memo.seed(items)
+        for i, req in items:
+            expect = sum(
+                memo.min_area(r) for j, r in items if j != i and j in memo._area_by_index
+            )
+            if i in memo._area_by_index:
+                assert memo.rest_area(i) == pytest.approx(expect)
+            memo.remove(i)
