@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench-smoke bench-policies bench-throughput lint \
-	selfcheck solve serve clean
+	replint lint-all selfcheck solve serve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
@@ -41,6 +41,23 @@ bench-throughput:
 lint:
 	ruff check src tests benchmarks
 	ruff format --check src tests benchmarks
+
+## The repo-aware invariants pass (src/repro/lint): proves the cost
+## model's invariants at lint time (see README "Static analysis").
+replint:
+	$(PYTHON) -m repro lint src tests benchmarks
+
+## Everything the CI lint + static-analysis jobs run.  Ruff and mypy are
+## skipped with a note when not installed (they are CI deps, not runtime
+## deps); replint always runs — it has no dependencies beyond the repo.
+lint-all: replint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; then \
+		ruff check src tests benchmarks && \
+		ruff format --check src tests benchmarks; \
+	else echo "lint-all: ruff not installed, skipping (pip install ruff)"; fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --strict -p repro.dist -p repro.sched; \
+	else echo "lint-all: mypy not installed, skipping (pip install mypy)"; fi
 
 ## Acceptance battery on the simulated machine.
 selfcheck:

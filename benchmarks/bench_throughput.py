@@ -63,15 +63,12 @@ def _flatten(schedule) -> list[tuple]:
 
 def _slow_path_schedule(stream, p):
     """Schedule on the pre-PR path: reference routing, every cache off."""
-    prev_ref = routing.set_reference_mode(True)
-    prev_cache = routing.set_plan_cache_enabled(False)
-    routing.clear_plan_cache()
-    try:
-        return schedule_stream(stream, p=p, pricing_cache=False)
-    finally:
-        routing.set_reference_mode(prev_ref)
-        routing.set_plan_cache_enabled(prev_cache)
+    with routing.reference_mode(), routing.plan_cache_disabled():
         routing.clear_plan_cache()
+        try:
+            return schedule_stream(stream, p=p, pricing_cache=False)
+        finally:
+            routing.clear_plan_cache()
 
 
 def test_scheduling_throughput_floor(emit, benchmark):

@@ -10,6 +10,7 @@ Commands
 ``presets``   list the machine cost presets
 ``report``    write model-side artifacts (CSV/JSON) to a directory
 ``selfcheck`` run the acceptance battery
+``lint``      run replint, the repo-aware static-analysis pass
 
 Every command operates on synthetic operands — the CLI exists to explore
 the cost model and the simulator without writing a script.
@@ -283,6 +284,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--quick", action="store_true")
     p_check.set_defaults(func=_cmd_selfcheck)
 
+    p_lint = sub.add_parser(
+        "lint", help="prove the cost model's invariants with replint"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    p_lint.add_argument(
+        "--config",
+        default=None,
+        help="pyproject.toml holding [tool.replint] (default: nearest ancestor)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -292,6 +312,18 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     report = run_selfcheck(quick=args.quick)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import run_lint
+
+    return run_lint(
+        args.paths,
+        config_path=Path(args.config) if args.config else None,
+        list_rules=args.list_rules,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -101,7 +101,7 @@ class RequestRecord:
     staging_saved_seconds: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ClusterOutcome:
     """What one :meth:`Cluster.run` produced, with aggregate views."""
 

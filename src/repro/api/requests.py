@@ -64,7 +64,7 @@ def _operand_key(M):
     return (M.uid, M.generation) if isinstance(M, DistMatrix) else None
 
 
-@dataclass
+@dataclass(slots=True)
 class Execution:
     """What one request execution produced (see ``RequestRecord``)."""
 
@@ -74,7 +74,7 @@ class Execution:
     choice: TuningChoice | None = None
 
 
-@dataclass(kw_only=True, eq=False)
+@dataclass(kw_only=True, eq=False, slots=True)
 class Request:
     """Base request: arrival time and an optional placement restriction.
 
@@ -182,7 +182,7 @@ def _as_global(operand) -> np.ndarray:
     )
 
 
-@dataclass(kw_only=True, eq=False)
+@dataclass(kw_only=True, eq=False, slots=True)
 class TrsmRequest(Request):
     """Solve ``L X = B`` (It-Inv-TRSM or the recursive baseline)."""
 
@@ -193,6 +193,9 @@ class TrsmRequest(Request):
     n0: int | None = None
     verify: bool = True
     base_n: int = 8
+    n: int = field(init=False)
+    k: int = field(init=False)
+    _choices: dict[tuple[int, CostParams], TuningChoice] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.kind = "trsm"
@@ -215,7 +218,7 @@ class TrsmRequest(Request):
             ParameterError,
             f"n0={self.n0} must divide n={n}",
         )
-        self._choices: dict[tuple[int, CostParams], TuningChoice] = {}
+        self._choices = {}
 
     # -- scheduling hooks ---------------------------------------------------
 
@@ -337,7 +340,7 @@ class TrsmRequest(Request):
         return Execution(value=X, algorithm=algorithm, residual=residual, choice=choice)
 
 
-@dataclass(kw_only=True, eq=False)
+@dataclass(kw_only=True, eq=False, slots=True)
 class MMRequest(Request):
     """Multiply ``B = scale * A @ X`` with the Section III MM."""
 
@@ -346,6 +349,9 @@ class MMRequest(Request):
     scale: float = 1.0
     p1: int | None = None
     verify: bool = False
+    m: int = field(init=False)
+    n: int = field(init=False)
+    k: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.kind = "mm"
@@ -419,7 +425,7 @@ class MMRequest(Request):
         return Execution(value=B, algorithm=f"mm3d(p1={p1})", residual=residual)
 
 
-@dataclass(kw_only=True, eq=False)
+@dataclass(kw_only=True, eq=False, slots=True)
 class InvRequest(Request):
     """Invert a lower-triangular matrix — fully, or its ``n0`` diagonal
     blocks only (the Diagonal-Inverter / selective-inversion preparation)."""
@@ -429,6 +435,7 @@ class InvRequest(Request):
     k_hint: int = 1
     base_n: int = 8
     verify: bool = False
+    n: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.kind = "inv" if self.n0 is None else "diag_inv"
@@ -532,7 +539,7 @@ class InvRequest(Request):
         return Execution(value=Ltilde, algorithm="diagonal_inverter", choice=choice)
 
 
-@dataclass(kw_only=True, eq=False)
+@dataclass(kw_only=True, eq=False, slots=True)
 class PreparedSolveRequest(Request):
     """Apply a :class:`~repro.trsm.prepared.PreparedTrsm`'s inverse to a new
     right-hand-side batch: solve + update phases only (Section II-C3).
@@ -552,6 +559,8 @@ class PreparedSolveRequest(Request):
     L: object | None = None
     Ltilde: object | None = None
     verify: bool = True
+    n: int = field(init=False)
+    k: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.kind = "prepared_solve"

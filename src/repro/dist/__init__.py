@@ -48,6 +48,8 @@ from repro.dist.routing import (
     TransitionPlan,
     fuse_transitions,
     gather_frame,
+    plan_cache_disabled,
+    reference_mode,
     scatter_frame,
 )
 from repro.dist.triangular import (
@@ -83,6 +85,8 @@ __all__ = [
     "fuse_transitions",
     "gather_frame",
     "scatter_frame",
+    "reference_mode",
+    "plan_cache_disabled",
     "is_lower_triangular",
     "require_square",
     "require_lower_triangular",

@@ -34,12 +34,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.dist.layout import Layout, expected_local_words
 from repro.machine.validate import GridError, ShapeError, require
+
+if TYPE_CHECKING:
+    from repro.machine.machine import Machine
+    from repro.machine.topology import ProcessorGrid
 
 
 class DistMatrix:
@@ -51,12 +55,12 @@ class DistMatrix:
 
     def __init__(
         self,
-        machine,
-        grid,
+        machine: "Machine",
+        grid: "ProcessorGrid",
         layout: Layout,
         shape: tuple[int, int],
         blocks: Mapping[int, np.ndarray],
-    ):
+    ) -> None:
         require(
             grid.ndim == 2,
             GridError,
@@ -101,7 +105,13 @@ class DistMatrix:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_global(cls, machine, grid, layout: Layout, A: np.ndarray) -> "DistMatrix":
+    def from_global(
+        cls,
+        machine: "Machine",
+        grid: "ProcessorGrid",
+        layout: Layout,
+        A: np.ndarray,
+    ) -> "DistMatrix":
         """Distribute a global matrix (zero-cost initial placement)."""
         require(
             grid.ndim == 2,
@@ -124,11 +134,15 @@ class DistMatrix:
         blocks = {
             grid.rank(coord): layout.extract(A, coord) for coord in grid.coords()
         }
-        return cls(machine, grid, layout, A.shape, blocks)
+        return cls(machine, grid, layout, (A.shape[0], A.shape[1]), blocks)
 
     @classmethod
     def zeros(
-        cls, machine, grid, layout: Layout, shape: tuple[int, int]
+        cls,
+        machine: "Machine",
+        grid: "ProcessorGrid",
+        layout: Layout,
+        shape: tuple[int, int],
     ) -> "DistMatrix":
         """An all-zero distributed matrix of the given global shape."""
         return cls.from_global(machine, grid, layout, np.zeros(shape))
@@ -197,7 +211,7 @@ class DistMatrix:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class StagedCopy:
     """A staged instance of a source matrix, remembering its provenance.
 

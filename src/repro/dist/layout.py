@@ -57,7 +57,7 @@ _WORDS_CACHE: dict[tuple, int] = {}
 _CACHE_MAX_ENTRIES = 4096
 
 
-def _cache_put(cache: dict, key: tuple, value) -> None:
+def _cache_put(cache: dict, key: tuple, value: object) -> None:
     """Insert with FIFO eviction once the cache reaches its entry bound."""
     while len(cache) >= _CACHE_MAX_ENTRIES:
         cache.pop(next(iter(cache)))
@@ -89,7 +89,7 @@ class Layout:
     derives from those two maps, so a new layout is ~10 lines of code.
     """
 
-    def __init__(self, pr: int, pc: int):
+    def __init__(self, pr: int, pc: int) -> None:
         require(
             int(pr) >= 1 and int(pc) >= 1,
             ShapeError,
@@ -304,7 +304,7 @@ class BlockCyclicLayout(Layout):
     gives each grid row one contiguous run of rows (ceil-chunked blocked).
     """
 
-    def __init__(self, pr: int, pc: int, br: int = 1, bc: int = 1):
+    def __init__(self, pr: int, pc: int, br: int = 1, bc: int = 1) -> None:
         super().__init__(pr, pc)
         require(
             int(br) >= 1 and int(bc) >= 1,

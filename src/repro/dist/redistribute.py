@@ -29,6 +29,8 @@ the movement (e.g. ``rectriinv.route_down``).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.dist.distmatrix import DistMatrix
@@ -37,9 +39,12 @@ from repro.dist.routing import End, RoutingPlan, fuse_transitions, routing_plan
 from repro.machine.collectives import sendrecv
 from repro.machine.validate import GridError, ShapeError, require
 
+if TYPE_CHECKING:
+    from repro.machine.topology import ProcessorGrid
+
 
 def redistribute(
-    D: DistMatrix, grid, layout: Layout, label: str = "redistribute"
+    D: DistMatrix, grid: "ProcessorGrid", layout: Layout, label: str = "redistribute"
 ) -> DistMatrix:
     """Move ``D`` onto ``grid`` with ``layout`` at the exact routing cost.
 
@@ -110,7 +115,7 @@ def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
         # Pairwise exchange: rank (x, y)'s new block is the transpose of the
         # source block at (y, x); sendrecv charges the larger payload of
         # each off-diagonal pair, diagonal blocks transpose locally (free).
-        blocks = {}
+        blocks: dict[int, np.ndarray] = {}
         for x in range(pr):
             blocks[grid.rank((x, x))] = D.local((x, x)).T.copy()
             for y in range(x + 1, pc):
@@ -197,7 +202,7 @@ def route_submatrix(
     r1: int,
     c0: int,
     c1: int,
-    grid,
+    grid: "ProcessorGrid",
     layout: Layout,
     label: str = "route",
 ) -> DistMatrix:
@@ -259,7 +264,7 @@ def route_embed(
 # ---------------------------------------------------------------------------
 
 
-def staging_plan(D: DistMatrix, grid, layout: Layout) -> RoutingPlan:
+def staging_plan(D: DistMatrix, grid: "ProcessorGrid", layout: Layout) -> RoutingPlan:
     """The exact migration plan for moving ``D`` onto ``grid``/``layout``.
 
     Pure pricing — nothing is charged or moved.  The ``repro.sched``
@@ -272,7 +277,7 @@ def staging_plan(D: DistMatrix, grid, layout: Layout) -> RoutingPlan:
 
 def stage_matrix(
     D: DistMatrix,
-    grid,
+    grid: "ProcessorGrid",
     layout: Layout,
     label: str = "stage",
     pointwise: bool = True,

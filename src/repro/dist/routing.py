@@ -54,8 +54,9 @@ suite):
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -63,7 +64,16 @@ from repro.dist.layout import Layout, expected_local_words
 from repro.machine.cost import Cost
 from repro.machine.validate import ShapeError, require
 
+if TYPE_CHECKING:
+    from repro.dist.distmatrix import DistMatrix
+    from repro.machine.machine import Machine
+    from repro.machine.topology import ProcessorGrid
+
 Blocks = Mapping[int, np.ndarray]
+
+#: one frame axis grouped by (source coord, destination coord) pair:
+#: the (source positions, destination positions) arrays per pair
+_AxisGroups = dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]
 
 #: per-(sender, receiver) word counts and bincount keys must stay
 #: addressable by 32-bit message-count APIs; guarded at plan construction
@@ -99,14 +109,14 @@ class End:
 
     def __init__(
         self,
-        grid,
+        grid: "ProcessorGrid",
         layout: Layout,
         full_shape: tuple[int, int],
         offset: tuple[int, int] = (0, 0),
         transpose: bool = False,
         rows: Sequence[int] | None = None,
         cols: Sequence[int] | None = None,
-    ):
+    ) -> None:
         require(
             (layout.pr, layout.pc) == grid.shape,
             ShapeError,
@@ -134,12 +144,12 @@ class End:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def of(cls, D, transpose: bool = False) -> "End":
+    def of(cls, D: "DistMatrix", transpose: bool = False) -> "End":
         """The frame covering all of ``D`` (transposed view if asked)."""
         return cls(D.grid, D.layout, D.shape, transpose=transpose)
 
     @classmethod
-    def window_of(cls, D, r0: int, c0: int) -> "End":
+    def window_of(cls, D: "DistMatrix", r0: int, c0: int) -> "End":
         """The frame starting at ``(r0, c0)`` inside ``D``."""
         return cls(D.grid, D.layout, D.shape, offset=(r0, c0))
 
@@ -155,6 +165,7 @@ class End:
                 ShapeError,
                 "frame shape is required unless rows and cols are explicit",
             )
+            assert fm is not None and fn is not None  # require raised otherwise
             return (fm, fn)
         shape = (int(shape[0]), int(shape[1]))
         require(
@@ -263,7 +274,7 @@ class End:
 class RoutingPlan:
     """The exact message plan between two :class:`End` s of one frame."""
 
-    def __init__(self, src: End, dst: End, shape: tuple[int, int]):
+    def __init__(self, src: End, dst: End, shape: tuple[int, int]) -> None:
         shape = src.frame_shape(shape)
         require(
             dst.frame_shape(shape) == shape,
@@ -303,10 +314,14 @@ class RoutingPlan:
             f"the int32 limit ({INT32_LIMIT})",
         )
         self._cost: Cost | None = None
-        self._pair_arrays_cache = None
-        self._per_rank_cache = None
+        self._pair_arrays_cache: (
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
+        self._per_rank_cache: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
         self._pointwise_cache: dict[int, Cost] | None = None
-        self._groups_cache = None
+        self._groups_cache: tuple[_AxisGroups, _AxisGroups] | None = None
 
     # -- the plan -----------------------------------------------------------
 
@@ -404,14 +419,14 @@ class RoutingPlan:
         """Union of both grids' ranks — the group a charge synchronizes."""
         return list(dict.fromkeys(self.src.grid.ranks() + self.dst.grid.ranks()))
 
-    def charge(self, machine, label: str = "route") -> Cost:
+    def charge(self, machine: "Machine", label: str = "route") -> Cost:
         """Charge the exact cost (a free plan charges — and syncs — nothing)."""
         cost = self.cost()
         if not self.is_free():
             machine.charge(self.ranks(), cost, label=label)
         return cost
 
-    def charge_pointwise(self, machine, label: str = "route") -> Cost:
+    def charge_pointwise(self, machine: "Machine", label: str = "route") -> Cost:
         """Charge each involved rank its own exact traffic, without a barrier.
 
         ``charge`` synchronizes the union of both grids, which is right for
@@ -454,7 +469,7 @@ class RoutingPlan:
             }
         return cached
 
-    def alltoall_bound(self, collective_model=None) -> Cost:
+    def alltoall_bound(self, collective_model: Any = None) -> Cost:
         """The old uniform bound this plan replaces (for comparison/tests):
         an all-to-all over the union at the larger per-rank footprint."""
         if collective_model is None:
@@ -475,7 +490,7 @@ class RoutingPlan:
     @staticmethod
     def _group_axis(
         so: np.ndarray, do: np.ndarray, sp: np.ndarray, dp: np.ndarray, d_size: int
-    ) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
+    ) -> _AxisGroups:
         """Group one frame axis by (source coord, destination coord) pair.
 
         One stable argsort over ``src_owner * d_size + dst_owner`` replaces
@@ -488,7 +503,7 @@ class RoutingPlan:
         key = so * d_size + do
         order = np.argsort(key, kind="stable")
         sorted_key = key[order]
-        groups: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        groups: _AxisGroups = {}
         if len(sorted_key) == 0:
             return groups
         starts = np.flatnonzero(np.diff(sorted_key)) + 1
@@ -499,7 +514,7 @@ class RoutingPlan:
             groups[(a, x)] = (sp[idx], dp[idx])
         return groups
 
-    def _groups(self):
+    def _groups(self) -> tuple[_AxisGroups, _AxisGroups]:
         """Per-plan (row groups, column groups) for :meth:`apply` — both
         axes' intersections are computed once per plan, not per call."""
         cached = self._groups_cache
@@ -633,6 +648,29 @@ def set_reference_mode(enabled: bool) -> bool:
     return previous
 
 
+@contextlib.contextmanager
+def reference_mode(enabled: bool = True) -> Iterator[None]:
+    """Scoped :func:`set_reference_mode`: restores the prior setting even
+    when the body raises, so a failing parity test can't leak reference
+    routing into the rest of the session."""
+    previous = set_reference_mode(enabled)
+    try:
+        yield
+    finally:
+        set_reference_mode(previous)
+
+
+@contextlib.contextmanager
+def plan_cache_disabled() -> Iterator[None]:
+    """Scoped cache bypass: every :func:`routing_plan` call inside builds a
+    fresh plan; the prior enabled/disabled state is restored on exit."""
+    previous = set_plan_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_plan_cache_enabled(previous)
+
+
 class TransitionPlan:
     """A chain of transitions fused into one composed map.
 
@@ -645,7 +683,7 @@ class TransitionPlan:
     twice.
     """
 
-    def __init__(self, ends: Sequence[End], shape: tuple[int, int]):
+    def __init__(self, ends: Sequence[End], shape: tuple[int, int]) -> None:
         require(len(ends) >= 2, ShapeError, "a transition chain needs >= 2 ends")
         self.ends = list(ends)
         self.shape = (int(shape[0]), int(shape[1]))
@@ -668,7 +706,7 @@ class TransitionPlan:
     def cost(self) -> Cost:
         return self.fused.cost()
 
-    def charge(self, machine, label: str = "route") -> Cost:
+    def charge(self, machine: "Machine", label: str = "route") -> Cost:
         return self.fused.charge(machine, label=label)
 
     def apply(

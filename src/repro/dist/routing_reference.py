@@ -14,14 +14,19 @@ tests, benches and :func:`repro.dist.routing.set_reference_mode`.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.machine.cost import Cost
 
+if TYPE_CHECKING:
+    from repro.dist.routing import Blocks, RoutingPlan
 
-def reference_pairs(plan) -> list[tuple[int, int, int]]:
+
+def reference_pairs(plan: "RoutingPlan") -> list[tuple[int, int, int]]:
     """The original nested-``np.nonzero`` pair enumeration."""
-    out = []
+    out: list[tuple[int, int, int]] = []
     R, C = plan._R, plan._C
     for a, x in zip(*np.nonzero(R)):
         for b, y in zip(*np.nonzero(C)):
@@ -32,7 +37,9 @@ def reference_pairs(plan) -> list[tuple[int, int, int]]:
     return out
 
 
-def _per_rank_dicts(plan):
+def _per_rank_dicts(
+    plan: "RoutingPlan",
+) -> tuple[dict[int, float], dict[int, float], dict[int, int], dict[int, int]]:
     """The original dict accumulation over :func:`reference_pairs`."""
     sent: dict[int, float] = {}
     recv: dict[int, float] = {}
@@ -46,7 +53,7 @@ def _per_rank_dicts(plan):
     return sent, recv, s_pairs, r_pairs
 
 
-def reference_cost(plan) -> Cost:
+def reference_cost(plan: "RoutingPlan") -> Cost:
     """The original aggregate critical-path charge."""
     sent, recv, s_pairs, r_pairs = _per_rank_dicts(plan)
     ranks = set(sent) | set(recv)
@@ -61,7 +68,7 @@ def reference_cost(plan) -> Cost:
     return Cost(S=float(S), W=float(W), F=0.0)
 
 
-def reference_pointwise_costs(plan) -> dict[int, Cost]:
+def reference_pointwise_costs(plan: "RoutingPlan") -> dict[int, Cost]:
     """The original per-rank local charges of ``charge_pointwise``."""
     sent, recv, s_pairs, r_pairs = _per_rank_dicts(plan)
     return {
@@ -74,7 +81,11 @@ def reference_pointwise_costs(plan) -> dict[int, Cost]:
     }
 
 
-def reference_apply(plan, blocks, out=None) -> dict[int, np.ndarray]:
+def reference_apply(
+    plan: "RoutingPlan",
+    blocks: "Blocks",
+    out: dict[int, np.ndarray] | None = None,
+) -> dict[int, np.ndarray]:
     """The original per-pair ``np.nonzero`` routing loop (with the
     duplicated per-call ``col_cache`` the vectorized path hoisted)."""
     if out is None:

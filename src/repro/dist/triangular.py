@@ -19,7 +19,7 @@ from repro.machine.validate import ShapeError, require
 from repro.util.mathutil import ceil_div
 
 
-def require_square(A, name: str = "matrix") -> int:
+def require_square(A: object, name: str = "matrix") -> int:
     """Validate that ``A`` (ndarray or DistMatrix) is square; return ``n``."""
     shape = getattr(A, "shape", None)
     require(

@@ -1,0 +1,37 @@
+"""repro.lint — ``replint``, the repo-aware static-analysis pass.
+
+The cost model's exactness rests on invariants that no general-purpose
+linter knows about: every data movement is charged, hot paths never
+gather to a global frame, parity toggles don't leak, golden streams stay
+reproducible.  ``python -m repro lint`` proves them at lint time:
+
+* :mod:`repro.lint.engine` — file collection, module naming, the
+  ``# replint: disable=<rule> -- <why>`` escape hatch (justification
+  required), ``[tool.replint]`` configuration and rule dispatch;
+* :mod:`repro.lint.rules` — the rule catalogue (no-global-gather,
+  charge-soundness, reference-isolation, toggle-hygiene, slots-required,
+  rng-discipline, int32-accumulation).
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    Project,
+    SourceFile,
+    lint_paths,
+    load_config,
+    run_lint,
+)
+from repro.lint.rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Project",
+    "Rule",
+    "RULES",
+    "SourceFile",
+    "lint_paths",
+    "load_config",
+    "run_lint",
+]

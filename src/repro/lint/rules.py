@@ -1,0 +1,484 @@
+"""The replint rule catalogue: seven invariants of the cost model, as AST checks.
+
+Every rule proves (a conservative approximation of) a property the
+reproduction's exactness depends on:
+
+* ``no-global-gather`` — hot paths never assemble a global frame; the
+  modeled ``alpha*S + beta*W`` critical path is only exact if all data
+  movement goes through charged routing plans.
+* ``charge-soundness`` — every ``RoutingPlan.apply`` / ``set_local``
+  mutation in the dist/machine layers is reachable only from functions
+  that pair it with a ``charge``/``charge_pointwise``; an uncharged copy
+  is a silently wrong critical path.
+* ``reference-isolation`` — the pinned pre-vectorization loops in
+  ``routing_reference`` exist to *check* the fast path, so only
+  ``repro.dist.routing`` itself, tests and benchmarks may import them.
+* ``toggle-hygiene`` — the process-global parity toggles
+  (``set_reference_mode``/``set_plan_cache_enabled``) leak across tests
+  when flipped raw; they may only appear inside context-managed helpers.
+* ``slots-required`` — dataclasses on the serve hot path (``sched``,
+  ``api``, ``dist``) must declare ``slots=True``: attribute-dict churn is
+  measurable at 10^4-request scale and silent attribute typos break the
+  pricing-key contracts.
+* ``rng-discipline`` — all randomness flows through
+  ``np.random.default_rng(seed)`` with an explicit seed; the golden
+  schedules and parity suites are only reproducible if nothing touches
+  the legacy global generator.
+* ``int32-accumulation`` — integer reductions in routing-adjacent code
+  need an explicit ``dtype``; the int32 word-count overflow class is
+  guarded dynamically at plan construction, and this keeps new reduction
+  sites from reintroducing it.
+
+Rules are project-level: each receives the full :class:`~repro.lint.engine.Project`
+so cross-file checks (the charge-soundness call-graph walk) and per-file
+checks share one shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.lint.engine import Finding, LintConfig, Project, SourceFile, module_matches
+
+GLOBAL_GATHERS = ("to_global", "from_global", "gather_frame")
+MUTATORS = ("apply", "set_local")
+CHARGES = ("charge", "charge_pointwise", "charge_local")
+TOGGLES = ("set_reference_mode", "set_plan_cache_enabled")
+INT_REDUCTIONS = ("sum", "prod", "cumsum", "cumprod")
+RNG_SAFE_IMPORTS = ("default_rng", "Generator", "SeedSequence", "BitGenerator")
+
+
+@dataclass(slots=True, frozen=True)
+class Rule:
+    id: str
+    summary: str
+    check: Callable[[Project, LintConfig], list[Finding]]
+
+
+def _call_name(node: ast.AST) -> str | None:
+    """The simple name a call resolves to: ``f(...)`` and ``x.y.f(...)``
+    both yield ``"f"``; anything else (subscripts, lambdas) yields None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _qualnames(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every node to its enclosing def/class qualname ('' at module level)."""
+    out: dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, stack: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack = stack + (node.name,)
+        out[node] = ".".join(stack)
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+
+    visit(tree, ())
+    return out
+
+
+def _context(src: SourceFile, qual: str) -> str:
+    return f"{src.module}:{qual}" if qual else src.module
+
+
+def _finding(rule: str, src: SourceFile, node: ast.AST, message: str, qual: str) -> Finding:
+    return Finding(
+        rule=rule,
+        path=src.display_path(),
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        context=_context(src, qual),
+    )
+
+
+# ---------------------------------------------------------------------------
+# no-global-gather
+
+
+def check_no_global_gather(project: Project, config: LintConfig) -> list[Finding]:
+    out: list[Finding] = []
+    for src in project.in_modules(config.hot_path_modules):
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name in GLOBAL_GATHERS:
+                out.append(
+                    _finding(
+                        "no-global-gather",
+                        src,
+                        node,
+                        f"hot-path module calls `{name}` (assembles a global "
+                        "frame outside the charged routing plans)",
+                        quals[node],
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# charge-soundness
+
+
+@dataclass(slots=True)
+class _FuncRecord:
+    key: str
+    simple: str
+    src: SourceFile
+    qual: str
+    has_charge: bool = False
+    mutations: list[tuple[ast.Call, str]] = field(default_factory=list)
+    calls: set[str] = field(default_factory=set)
+
+
+def _charge_records(project: Project, config: LintConfig) -> dict[str, _FuncRecord]:
+    records: dict[str, _FuncRecord] = {}
+    for src in project.in_modules(config.charge_modules):
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = quals[node]
+            key = f"{src.module}:{qual}" if qual else f"{src.module}:<module>"
+            rec = records.get(key)
+            if rec is None:
+                simple = qual.rsplit(".", 1)[-1] if qual else "<module>"
+                rec = records[key] = _FuncRecord(key=key, simple=simple, src=src, qual=qual)
+            name = _call_name(node.func)
+            if name is None:
+                continue
+            rec.calls.add(name)
+            if name in CHARGES:
+                rec.has_charge = True
+            if name in MUTATORS:
+                rec.mutations.append((node, name))
+    return records
+
+
+def check_charge_soundness(project: Project, config: LintConfig) -> list[Finding]:
+    """Greatest-fixpoint coverage over a name-based call graph.
+
+    A function is *covered* when it charges itself, or when it has at
+    least one caller (other than itself) and every caller is covered.  A
+    mutation (`.apply`/`.set_local` call) inside an uncovered function is
+    movement the cost counters never see.
+    """
+    records = _charge_records(project, config)
+    callers: dict[str, list[str]] = {k: [] for k in records}
+    for key, rec in records.items():
+        for other_key, other in records.items():
+            if rec.simple != "<module>" and rec.simple in other.calls:
+                callers[key].append(other_key)
+
+    covered = {k: True for k in records}
+    changed = True
+    while changed:
+        changed = False
+        for key, rec in records.items():
+            if rec.has_charge or not covered[key]:
+                continue
+            others = [c for c in callers[key] if c != key]
+            ok = bool(others) and all(covered[c] for c in others)
+            if not ok:
+                covered[key] = False
+                changed = True
+
+    out: list[Finding] = []
+    for key, rec in records.items():
+        if covered[key]:
+            continue
+        for node, name in rec.mutations:
+            where = rec.qual or "module level"
+            out.append(
+                _finding(
+                    "charge-soundness",
+                    rec.src,
+                    node,
+                    f"`{name}` in `{where}` is not reachable from any "
+                    "charge/charge_pointwise pairing",
+                    rec.qual,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reference-isolation
+
+
+def check_reference_isolation(project: Project, config: LintConfig) -> list[Finding]:
+    allowed = ("repro.dist.routing", "repro.dist.routing_reference", "tests", "benchmarks")
+    out: list[Finding] = []
+    for src in project.files:
+        if module_matches(src.module, allowed):
+            continue
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module or ""] + [a.name for a in node.names]
+            if any("routing_reference" in n for n in names):
+                out.append(
+                    _finding(
+                        "reference-isolation",
+                        src,
+                        node,
+                        "the pinned reference loops are for parity checks only: "
+                        "import `routing_reference` from routing.py, tests or "
+                        "benchmarks, not from library code",
+                        quals[node],
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# toggle-hygiene
+
+
+def _is_contextmanager(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        name = dec.id if isinstance(dec, ast.Name) else getattr(dec, "attr", None)
+        if name in ("contextmanager", "asynccontextmanager"):
+            return True
+    return False
+
+
+def check_toggle_hygiene(project: Project, config: LintConfig) -> list[Finding]:
+    out: list[Finding] = []
+    for src in project.files:
+        if src.module == "repro.dist.routing":
+            continue  # the toggles and their context managers live here
+        cm_funcs: set[str] = set()
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_contextmanager(node):
+                    cm_funcs.add(quals[node])
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name not in TOGGLES:
+                continue
+            qual = quals[node]
+            inside_cm = any(qual == f or qual.startswith(f + ".") for f in cm_funcs)
+            if inside_cm:
+                continue
+            out.append(
+                _finding(
+                    "toggle-hygiene",
+                    src,
+                    node,
+                    f"raw `{name}` call leaks global state on failure: use the "
+                    "`reference_mode()`/`plan_cache_disabled()` context managers",
+                    qual,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# slots-required
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if _call_name(target) == "dataclass":
+            return dec
+    return None
+
+
+def check_slots_required(project: Project, config: LintConfig) -> list[Finding]:
+    out: list[Finding] = []
+    for src in project.in_modules(config.slots_modules):
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            dec = _dataclass_decorator(node)
+            if dec is None:
+                continue
+            has_slots = isinstance(dec, ast.Call) and any(
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in dec.keywords
+            )
+            if not has_slots:
+                out.append(
+                    _finding(
+                        "slots-required",
+                        src,
+                        node,
+                        f"dataclass `{node.name}` must declare slots=True "
+                        "(hot-path layers pay for attribute dicts at serve scale)",
+                        quals[node],
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rng-discipline
+
+
+def _np_random_attr(func: ast.AST) -> str | None:
+    """``np.random.<fn>`` / ``numpy.random.<fn>`` -> ``<fn>``, else None."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+def _has_explicit_seed(node: ast.Call) -> bool:
+    if node.args:
+        return True
+    return any(kw.arg == "seed" for kw in node.keywords)
+
+
+def check_rng_discipline(project: Project, config: LintConfig) -> list[Finding]:
+    out: list[Finding] = []
+    for src in project.files:
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                bad = [a.name for a in node.names if a.name not in RNG_SAFE_IMPORTS]
+                if bad:
+                    out.append(
+                        _finding(
+                            "rng-discipline",
+                            src,
+                            node,
+                            f"legacy numpy.random import(s) {', '.join(bad)}: "
+                            "use np.random.default_rng(seed)",
+                            quals[node],
+                        )
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            fn = _np_random_attr(node.func)
+            if fn is None and _call_name(node.func) == "default_rng":
+                fn = "default_rng"
+            if fn is None:
+                continue
+            if fn == "default_rng":
+                if not _has_explicit_seed(node):
+                    out.append(
+                        _finding(
+                            "rng-discipline",
+                            src,
+                            node,
+                            "default_rng() without an explicit seed: golden "
+                            "schedules and parity suites must be reproducible",
+                            quals[node],
+                        )
+                    )
+            else:
+                out.append(
+                    _finding(
+                        "rng-discipline",
+                        src,
+                        node,
+                        f"legacy global-state RNG call `np.random.{fn}`: use "
+                        "np.random.default_rng(seed)",
+                        quals[node],
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# int32-accumulation
+
+
+def check_int32_accumulation(project: Project, config: LintConfig) -> list[Finding]:
+    out: list[Finding] = []
+    for src in project.in_modules(config.int32_modules):
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in INT_REDUCTIONS):
+                continue
+            # math.prod/math.fsum are exact Python arithmetic, not numpy
+            if isinstance(func.value, ast.Name) and func.value.id == "math":
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            out.append(
+                _finding(
+                    "int32-accumulation",
+                    src,
+                    node,
+                    f"reduction `{func.attr}` without an explicit dtype in "
+                    "routing-adjacent code: word counts overflow int32 "
+                    "(pass dtype=np.int64)",
+                    quals[node],
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            "no-global-gather",
+            "hot paths must not assemble global frames (to_global/from_global/gather_frame)",
+            check_no_global_gather,
+        ),
+        Rule(
+            "charge-soundness",
+            "every plan.apply/set_local mutation must be reachable from a charge pairing",
+            check_charge_soundness,
+        ),
+        Rule(
+            "reference-isolation",
+            "routing_reference is importable only from routing.py, tests and benchmarks",
+            check_reference_isolation,
+        ),
+        Rule(
+            "toggle-hygiene",
+            "global parity toggles only inside context-managed helpers",
+            check_toggle_hygiene,
+        ),
+        Rule(
+            "slots-required",
+            "dataclasses in sched/api/dist must declare slots=True",
+            check_slots_required,
+        ),
+        Rule(
+            "rng-discipline",
+            "randomness only via np.random.default_rng with an explicit seed",
+            check_rng_discipline,
+        ),
+        Rule(
+            "int32-accumulation",
+            "integer reductions in routing-adjacent code need an explicit dtype",
+            check_int32_accumulation,
+        ),
+    )
+}

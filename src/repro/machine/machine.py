@@ -26,6 +26,7 @@ collectives in :mod:`repro.machine.collectives`, which call back into
 from __future__ import annotations
 
 import contextlib
+import math
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -82,7 +83,7 @@ class Machine:
 
         Raises :class:`GridError` when the machine has too few unused ranks.
         """
-        n = int(np.prod(shape))
+        n = math.prod(shape)
         require(
             self._next_rank + n <= self.n_ranks,
             GridError,

@@ -19,6 +19,7 @@ Conventions
 
 from __future__ import annotations
 
+import math
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -109,7 +110,7 @@ class ProcessorGrid:
     def build(shape: Sequence[int], start: int = 0) -> "ProcessorGrid":
         """Grid over consecutive ranks ``start, start+1, ...`` in C order."""
         shape = tuple(int(s) for s in shape)
-        n = int(np.prod(shape))
+        n = math.prod(shape)
         return ProcessorGrid(np.arange(start, start + n, dtype=np.int64).reshape(shape))
 
     # -- views and subgrids ---------------------------------------------------
@@ -118,7 +119,7 @@ class ProcessorGrid:
         """C-order reshape over the same ranks."""
         shape = tuple(int(s) for s in shape)
         require(
-            int(np.prod(shape)) == self.size,
+            math.prod(shape) == self.size,
             GridError,
             f"cannot reshape grid of size {self.size} to {shape}",
         )

@@ -144,6 +144,7 @@ def mm3d(A: DistMatrix, X: DistMatrix, p1: int, scale: float = 1.0) -> DistMatri
             lo, hi = col_slabs[z]
             # Route the slab pieces straight out of the owning blocks; the
             # movement itself is charged by lines 3/4 above.
+            # replint: disable=no-global-gather -- frame is assembled from already-routed blocks; the movement was charged by the line-3/4 transposes
             slab = gather_frame(
                 End(X.grid, X.layout, X.shape, rows=X_rows[y1], cols=np.arange(lo, hi)),
                 X.blocks,

@@ -22,6 +22,8 @@ square for MM/RecTriInv); the ranks stay the block's ranks.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import GridError, ParameterError, require
 from repro.util.mathutil import is_power_of_two
@@ -32,7 +34,7 @@ class _Node:
 
     __slots__ = ("grid", "parent", "children", "allocated")
 
-    def __init__(self, grid: ProcessorGrid, parent: "_Node | None" = None):
+    def __init__(self, grid: ProcessorGrid, parent: "_Node | None" = None) -> None:
         self.grid = grid
         self.parent = parent
         self.children: tuple[_Node, _Node] | None = None
@@ -58,7 +60,7 @@ class _Node:
 class SubgridAllocator:
     """Split/coalesce pool of disjoint subgrids of one root grid."""
 
-    def __init__(self, root: ProcessorGrid):
+    def __init__(self, root: ProcessorGrid) -> None:
         require(
             is_power_of_two(root.size),
             ParameterError,
@@ -72,7 +74,7 @@ class SubgridAllocator:
         #: cache subscribes here: a staged copy lives exactly as long as
         #: the block it was staged onto, so destroying the block evicts it
         #: (see repro.api.opcache).
-        self.on_destroy = None
+        self.on_destroy: Callable[[ProcessorGrid], None] | None = None
 
     # -- queries ------------------------------------------------------------
 
@@ -169,10 +171,11 @@ class SubgridAllocator:
                 ParameterError,
                 f"{grid!r} is not a free block of this pool",
             )
-            if node.children is None:
+            children = node.children
+            if children is None:
                 self._destroyed(node.grid)
-                node.split()
-            lo, hi = node.children
+                children = node.split()
+            lo, hi = children
             node = lo if target <= set(lo.grid.ranks()) else hi
         require(
             node.free,
@@ -201,7 +204,11 @@ class SubgridAllocator:
         require(node is not None, ParameterError, f"{grid!r} is not leased from this pool")
         node.allocated = False
         parent = node.parent
-        while parent is not None and all(c.free for c in parent.children):
+        while (
+            parent is not None
+            and parent.children is not None
+            and all(c.free for c in parent.children)
+        ):
             parent.children = None
             self._destroyed(parent.grid)
             parent = parent.parent

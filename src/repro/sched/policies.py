@@ -30,12 +30,16 @@ exactly the prices the commit pays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.machine.cost import Cost, CostParams
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import ParameterError, require
 from repro.sched.allocator import SubgridAllocator
+from repro.sched.pricing import PricingMemo
+
+if TYPE_CHECKING:
+    from repro.sched.scheduler import SchedulableRequest
 
 #: relative slack for "same score" placement ties (smaller subgrid wins)
 _TIE = 1e-6
@@ -86,13 +90,15 @@ class PolicyContext:
         now: float,
         allocator: SubgridAllocator,
         params: CostParams,
-        pending: Sequence[tuple[int, object]],
+        pending: Sequence[tuple[int, SchedulableRequest]],
         running: Sequence[tuple[float, int, int, ProcessorGrid]],
-        pricer: Callable[[object, ProcessorGrid], tuple[Cost, Cost, tuple]],
+        pricer: Callable[
+            [SchedulableRequest, ProcessorGrid], tuple[Cost, Cost, tuple]
+        ],
         *,
-        arrived: Sequence[tuple[int, object]] | None = None,
-        memo=None,
-    ):
+        arrived: Sequence[tuple[int, SchedulableRequest]] | None = None,
+        memo: PricingMemo | None = None,
+    ) -> None:
         self.now = now
         self.allocator = allocator
         self.params = params
@@ -106,7 +112,7 @@ class PolicyContext:
     def capacity(self) -> int:
         return self.allocator.capacity
 
-    def arrived(self) -> list[tuple[int, object]]:
+    def arrived(self) -> list[tuple[int, SchedulableRequest]]:
         """Unplaced requests whose arrival time has passed, queue order."""
         if self._arrived is not None:
             return list(self._arrived)
@@ -114,18 +120,18 @@ class PolicyContext:
 
     # -- pricing ------------------------------------------------------------
 
-    def candidate_sizes(self, req) -> list[int]:
+    def candidate_sizes(self, req: SchedulableRequest) -> list[int]:
         """The request's candidate subgrid sizes on this pool (memoized)."""
         if self._memo is not None:
             return self._memo.sizes(req)
         return req.candidate_sizes(self.capacity)
 
-    def exec_seconds(self, req, size: int) -> float:
+    def exec_seconds(self, req: SchedulableRequest, size: int) -> float:
         if self._memo is not None:
             return self._memo.exec_seconds(req, size)
         return req.modeled_cost(size, self.params).time(self.params)
 
-    def min_exec_seconds(self, req) -> float:
+    def min_exec_seconds(self, req: SchedulableRequest) -> float:
         """Best-case execution seconds over the request's candidate sizes."""
         if self._memo is not None:
             return self._memo.min_exec_seconds(req)
@@ -134,7 +140,7 @@ class PolicyContext:
             default=0.0,
         )
 
-    def min_area(self, req) -> float:
+    def min_area(self, req: SchedulableRequest) -> float:
         """Fewest rank-seconds any placement of ``req`` consumes."""
         if self._memo is not None:
             return self._memo.min_area(req)
@@ -151,7 +157,7 @@ class PolicyContext:
 
     def price(
         self,
-        req,
+        req: SchedulableRequest,
         size: int,
         pool: SubgridAllocator | None = None,
         now: float | None = None,
@@ -186,7 +192,10 @@ class PolicyContext:
         )
 
     def best_candidate(
-        self, req, rest_area: float, deadline: float | None = None
+        self,
+        req: SchedulableRequest,
+        rest_area: float,
+        deadline: float | None = None,
     ) -> Candidate | None:
         """The minimum-score placement of ``req`` on the current pool.
 
@@ -228,7 +237,7 @@ class PolicyContext:
         """
         return self.allocator.clone()
 
-    def earliest_fit(self, req) -> float | None:
+    def earliest_fit(self, req: SchedulableRequest) -> float | None:
         """Earliest modeled time ``req`` could start with no new tenants.
 
         Simulates the running placements releasing at their modeled
@@ -253,7 +262,7 @@ class PolicyContext:
         return None
 
 
-def lpt_order(ctx: PolicyContext) -> list[tuple[int, object]]:
+def lpt_order(ctx: PolicyContext) -> list[tuple[int, SchedulableRequest]]:
     """Arrived requests, longest best-case execution first (stable)."""
     arrived = ctx.arrived()
     arrived.sort(key=lambda it: -ctx.min_exec_seconds(it[1]))
@@ -399,14 +408,16 @@ class OptimalPolicy(PackingPolicy):
     name = "optimal"
     requires_uncached = True
 
-    def __init__(self, max_requests: int = 8):
+    def __init__(self, max_requests: int = 8) -> None:
         require(
             max_requests >= 1,
             ParameterError,
             f"max_requests must be positive, got {max_requests}",
         )
         self.max_requests = int(max_requests)
-        self._plan: list[tuple[int, object, int, float, ProcessorGrid]] | None = None
+        self._plan: (
+            list[tuple[int, SchedulableRequest, int, float, ProcessorGrid]] | None
+        ) = None
         self._cursor = 0
         #: search-size statistic of the last planning pass (for reports)
         self.nodes_explored = 0
@@ -449,7 +460,9 @@ class OptimalPolicy(PackingPolicy):
 
     # -- the search ---------------------------------------------------------
 
-    def _solve(self, ctx: PolicyContext):
+    def _solve(
+        self, ctx: PolicyContext
+    ) -> list[tuple[int, SchedulableRequest, int, float, ProcessorGrid]]:
         """Minimum-makespan plan for the whole pending queue."""
         require(
             not ctx.running,
@@ -488,11 +501,12 @@ class OptimalPolicy(PackingPolicy):
         # to every congruent block, so the canonical price stands in for
         # any block of that size): the shortest possible duration of each
         # request and the fewest rank-seconds it can consume.
-        dur0 = {
-            (i, s): duration_of(i, s, pool.preview(s))
-            for i, _req in items
-            for s in sizes[i]
-        }
+        dur0: dict[tuple[int, int], float] = {}
+        for i, _req in items:
+            for s in sizes[i]:
+                grid0 = pool.preview(s)
+                assert grid0 is not None  # a drained pool serves every size
+                dur0[(i, s)] = duration_of(i, s, grid0)
         min_dur = {
             i: min((dur0[(i, s)] for s in sizes[i]), default=0.0) for i, _req in items
         }
@@ -501,7 +515,12 @@ class OptimalPolicy(PackingPolicy):
             for i, _req in items
         }
 
-        def state_key(pending, running, now, barrier):
+        def state_key(
+            pending: frozenset[int],
+            running: list[tuple[float, int, int, ProcessorGrid]],
+            now: float,
+            barrier: int,
+        ) -> tuple:
             # exact floats: rounding could alias a state with its own
             # wait-descendant (e.g. a sub-grain arrival) and prune the
             # only feasible path; identical placement sets still collide
@@ -513,7 +532,14 @@ class OptimalPolicy(PackingPolicy):
                 barrier,
             )
 
-        def dfs(pending, running, now, plan, max_finish, barrier):
+        def dfs(
+            pending: frozenset[int],
+            running: list[tuple[float, int, int, ProcessorGrid]],
+            now: float,
+            plan: list[tuple[int, SchedulableRequest, int, float, ProcessorGrid]],
+            max_finish: float,
+            barrier: int,
+        ) -> None:
             self.nodes_explored += 1
             if not pending:
                 if max_finish < best["makespan"]:
@@ -541,12 +567,12 @@ class OptimalPolicy(PackingPolicy):
             # time in either order books the same sizes for the same
             # durations (staging volumes are congruent across same-size
             # blocks), so only one order needs exploring.
-            options = []
+            options: list[tuple[float, int, int, float]] = []
             for i in pending:
                 if arrival[i] > now or i <= barrier:
                     continue
                 rest = sum(areas[j] for j in pending if j != i)
-                priced = []
+                priced: list[tuple[int, ProcessorGrid, float]] = []
                 for size in sizes[i]:
                     grid = pool.preview(size)
                     if grid is None:

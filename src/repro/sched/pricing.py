@@ -50,8 +50,14 @@ that the schedules stay identical.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable
+
 from repro.dist.redistribute import staging_plan
 from repro.machine.cost import Cost, CostParams
+
+if TYPE_CHECKING:
+    from repro.api.opcache import CachePlan
+    from repro.machine.topology import ProcessorGrid
 
 
 class PricingMemo:
@@ -80,7 +86,7 @@ class PricingMemo:
         "_request_base",
     )
 
-    def __init__(self, params: CostParams, capacity: int):
+    def __init__(self, params: CostParams, capacity: int) -> None:
         self.params = params
         self.capacity = int(capacity)
         #: staging-target memo traffic (for tests and reports)
@@ -97,11 +103,11 @@ class PricingMemo:
         self._targets: dict[tuple, tuple] = {}
         self._area_by_index: dict[int, float] = {}
         self._area_total = 0.0
-        self._request_base = None
+        self._request_base: type | None = None
 
     # -- identity -----------------------------------------------------------
 
-    def _key_of(self, req) -> tuple:
+    def _key_of(self, req: Any) -> tuple:
         """The request's share key: equal keys share every memo row."""
         got = self._keys.get(id(req))
         if got is not None:
@@ -112,7 +118,7 @@ class PricingMemo:
         self._keys[id(req)] = (share, req)
         return share
 
-    def _base(self):
+    def _base(self) -> type:
         if self._request_base is None:
             # deferred: repro.api imports the scheduler package at load
             # time, so a module-level import here would be circular
@@ -121,7 +127,7 @@ class PricingMemo:
             self._request_base = Request
         return self._request_base
 
-    def _stock_staging(self, req) -> bool:
+    def _stock_staging(self, req: Any) -> bool:
         """True iff both staging hooks are the stock Request implementations
         (the contract the raw-target memo and hit replay are valid under)."""
         Request = self._base()
@@ -135,21 +141,21 @@ class PricingMemo:
 
     # -- modeled execution ---------------------------------------------------
 
-    def sizes(self, req) -> list[int]:
+    def sizes(self, req: Any) -> list[int]:
         key = self._key_of(req)
         got = self._sizes.get(key)
         if got is None:
             got = self._sizes[key] = req.candidate_sizes(self.capacity)
         return got
 
-    def modeled_cost(self, req, size: int) -> Cost:
+    def modeled_cost(self, req: Any, size: int) -> Cost:
         key = (self._key_of(req), size)
         got = self._modeled.get(key)
         if got is None:
             got = self._modeled[key] = req.modeled_cost(size, self.params)
         return got
 
-    def exec_seconds(self, req, size: int) -> float:
+    def exec_seconds(self, req: Any, size: int) -> float:
         key = (self._key_of(req), size)
         got = self._seconds.get(key)
         if got is None:
@@ -158,7 +164,7 @@ class PricingMemo:
             )
         return got
 
-    def min_exec_seconds(self, req) -> float:
+    def min_exec_seconds(self, req: Any) -> float:
         key = self._key_of(req)
         got = self._min_seconds.get(key)
         if got is None:
@@ -168,7 +174,7 @@ class PricingMemo:
             )
         return got
 
-    def min_area(self, req) -> float:
+    def min_area(self, req: Any) -> float:
         key = self._key_of(req)
         got = self._min_area.get(key)
         if got is None:
@@ -180,7 +186,7 @@ class PricingMemo:
 
     # -- the queue-area aggregate -------------------------------------------
 
-    def seed(self, items) -> None:
+    def seed(self, items: Iterable[tuple[int, Any]]) -> None:
         """Register the enumerated queue for incremental area accounting."""
         self._area_by_index = {i: self.min_area(req) for i, req in items}
         self._area_total = sum(self._area_by_index.values())
@@ -195,7 +201,7 @@ class PricingMemo:
 
     # -- staging -------------------------------------------------------------
 
-    def _raw_targets(self, req, grid) -> tuple:
+    def _raw_targets(self, req: Any, grid: "ProcessorGrid") -> tuple:
         """``(cache key, target grid, migration cost)`` per resident operand
         of ``req`` on the concrete subgrid ``grid`` (memoized — the routing
         plans behind the costs are the expensive part)."""
@@ -213,7 +219,9 @@ class PricingMemo:
         )
         return got
 
-    def staging(self, req, grid, view) -> tuple[Cost, Cost, tuple]:
+    def staging(
+        self, req: Any, grid: "ProcessorGrid", view: "CachePlan | None"
+    ) -> tuple[Cost, Cost, tuple]:
         """The scheduler's pricing hook: ``(charged, saved, targets)``.
 
         Mirrors the uncached hook exactly: without a cache view (or a
@@ -240,7 +248,7 @@ class PricingMemo:
             targets.append((key, target_grid, cost, hit))
         return charged, saved, tuple(targets)
 
-    def staging_cost(self, req, grid) -> Cost:
+    def staging_cost(self, req: Any, grid: "ProcessorGrid") -> Cost:
         """Plain (cache-blind) staging price, memoized when stock."""
         if not self._stock_staging(req):
             return req.staging_cost(grid, self.params)

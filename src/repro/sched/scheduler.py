@@ -48,7 +48,7 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Protocol, Sequence, TypeVar, overload
 
 from repro.machine.cost import Cost, CostParams
 from repro.machine.topology import ProcessorGrid
@@ -56,6 +56,9 @@ from repro.machine.validate import ParameterError, require
 from repro.sched.allocator import SubgridAllocator
 from repro.sched.policies import PackingPolicy, PolicyContext, make_policy
 from repro.sched.pricing import PricingMemo
+
+if TYPE_CHECKING:
+    from repro.api.opcache import CachePlan, OperandCache
 
 
 class SchedulableRequest(Protocol):
@@ -70,7 +73,10 @@ class SchedulableRequest(Protocol):
     def staging_cost(self, grid: ProcessorGrid, params: CostParams) -> Cost: ...
 
 
-class _LazyList:
+_T = TypeVar("_T")
+
+
+class _LazyList(Sequence[_T]):
     """A sequence materialized on first access.
 
     The event loop builds a :class:`~repro.sched.policies.PolicyContext`
@@ -83,22 +89,28 @@ class _LazyList:
 
     __slots__ = ("_build", "_items")
 
-    def __init__(self, build: Callable[[], list]):
+    def __init__(self, build: Callable[[], list[_T]]) -> None:
         self._build = build
-        self._items: list | None = None
+        self._items: list[_T] | None = None
 
-    def _materialize(self) -> list:
+    def _materialize(self) -> list[_T]:
         if self._items is None:
             self._items = self._build()
         return self._items
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[_T]:
         return iter(self._materialize())
 
     def __len__(self) -> int:
         return len(self._materialize())
 
-    def __getitem__(self, i):
+    @overload
+    def __getitem__(self, i: int) -> _T: ...
+
+    @overload
+    def __getitem__(self, i: slice) -> Sequence[_T]: ...
+
+    def __getitem__(self, i: int | slice) -> "_T | Sequence[_T]":
         return self._materialize()[i]
 
 
@@ -175,10 +187,10 @@ class Scheduler:
         self,
         allocator: SubgridAllocator,
         params: CostParams | None = None,
-        cache=None,
+        cache: "OperandCache | None" = None,
         policy: PackingPolicy | str | None = None,
         pricing_cache: bool = True,
-    ):
+    ) -> None:
         self.allocator = allocator
         self.params = params or CostParams()
         self.policy = make_policy(policy)
@@ -216,11 +228,13 @@ class Scheduler:
         # bisect — no O(queue) scan per event.
         future = sorted(items, key=lambda it: (it[1].arrival, it[0]))
         ptr = 0
-        arrived: list[tuple[int, object]] = []
+        arrived: list[tuple[int, SchedulableRequest]] = []
         running: list[tuple[float, int, Assignment]] = []  # (finish, seq, a)
         out: list[Assignment] = []
         now, seq = 0.0, 0
-        view = self.cache.plan() if self.cache is not None else None
+        view: "CachePlan | None" = (
+            self.cache.plan() if self.cache is not None else None
+        )
         evictions: list[tuple[float, ProcessorGrid]] = []
 
         def drain_arrivals() -> None:
@@ -229,7 +243,7 @@ class Scheduler:
                 insort(arrived, future[ptr], key=lambda it: it[0])
                 ptr += 1
 
-        def pending_view() -> list[tuple[int, object]]:
+        def pending_view() -> list[tuple[int, SchedulableRequest]]:
             # all unplaced requests in index order (what ``pending`` was)
             return sorted(arrived + future[ptr:], key=lambda it: it[0])
 
@@ -257,7 +271,9 @@ class Scheduler:
                 return memo.sizes(req)
             return req.candidate_sizes(alloc.capacity)
 
-        def staging_for(req: SchedulableRequest, grid: ProcessorGrid):
+        def staging_for(
+            req: SchedulableRequest, grid: ProcessorGrid
+        ) -> tuple[Cost, Cost, tuple]:
             """(charged, saved, per-target decisions) for one placement."""
             if memo is not None:
                 return memo.staging(req, grid, view)
@@ -270,6 +286,7 @@ class Scheduler:
             # A block stopped existing: its staged copies die with it, in
             # the planned view now and (via the recorded event time) in
             # the real cache when execution reaches this point.
+            assert view is not None  # only installed when a cache view exists
             view.evict_grid(grid)
             evictions.append((now, grid))
 
@@ -277,7 +294,7 @@ class Scheduler:
         if view is not None:
             alloc.on_destroy = on_destroy
         try:
-            prev_state = None
+            prev_state: tuple[float, int, int] | None = None
             drain_arrivals()
             while arrived or ptr < len(future) or running:
                 # A legal iteration places (seq grows), pops a finish

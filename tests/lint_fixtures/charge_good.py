@@ -1,0 +1,10 @@
+# replint-fixture-module: repro.dist.fixture_stage
+"""Good: the stage_matrix shape — mutation paired with its charge."""
+
+
+def stage(plan, machine, blocks, pointwise=True):
+    if pointwise:
+        plan.charge_pointwise(machine, label="stage")
+    else:
+        plan.charge(machine, label="stage")
+    return plan.apply(blocks)

@@ -1,0 +1,12 @@
+# replint-fixture-module: repro.sched.fixture_gather
+"""Bad: a scheduler helper assembling global frames on the hot path."""
+
+import numpy as np
+
+from repro.dist import gather_frame
+
+
+def plan_area(X):
+    frame = X.to_global()
+    slab = gather_frame(X.layout, X.blocks)
+    return float(np.asarray(frame).size + np.asarray(slab).size)

@@ -1,0 +1,8 @@
+# replint-fixture-module: repro.sched.fixture_gather_ok
+"""Good: the scheduler prices movement through routed plans only."""
+
+from repro.dist import staging_plan
+
+
+def staging_words(D, grid, layout):
+    return staging_plan(D, grid, layout).cost().W

@@ -1,0 +1,8 @@
+# replint-fixture-module: repro.dist.fixture_words
+"""Bad: an int32-accumulating word count (the PR 6 overflow class)."""
+
+import numpy as np
+
+
+def total_words(counts):
+    return int(np.sum(counts) + counts.prod())

@@ -1,0 +1,8 @@
+# replint-fixture-module: repro.dist.fixture_words_ok
+"""Good: routing-adjacent reductions pin their accumulator width."""
+
+import numpy as np
+
+
+def total_words(counts):
+    return int(counts.sum(dtype=np.int64))

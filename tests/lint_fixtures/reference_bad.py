@@ -1,0 +1,4 @@
+# replint-fixture-module: repro.api.fixture_ref
+"""Bad: library code reaching for the parity-only reference loops."""
+
+from repro.dist.routing_reference import reference_cost  # noqa: F401

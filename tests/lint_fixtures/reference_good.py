@@ -1,0 +1,4 @@
+# replint-fixture-module: benchmarks.fixture_ref
+"""Good: benchmarks may exercise the pinned reference loops."""
+
+from repro.dist.routing_reference import reference_cost  # noqa: F401

@@ -1,0 +1,12 @@
+# replint-fixture-module: repro.api.fixture_serve
+"""Bad: a bare np.random.rand slipped into the serve layer."""
+
+import numpy as np
+
+
+def jitter():
+    return np.random.rand(4)
+
+
+def unseeded():
+    return np.random.default_rng()

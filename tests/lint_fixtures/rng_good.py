@@ -1,0 +1,9 @@
+# replint-fixture-module: repro.api.fixture_serve_ok
+"""Good: all randomness through an explicitly seeded Generator."""
+
+import numpy as np
+
+
+def noise(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(4)

@@ -1,0 +1,16 @@
+# replint-fixture-module: repro.sched.fixture_types_bad
+"""Bad: slot-less dataclasses on the scheduler hot path."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Span:
+    start: float
+    stop: float
+
+
+@dataclass(frozen=True)
+class Window:
+    lo: int
+    hi: int

@@ -1,0 +1,10 @@
+# replint-fixture-module: repro.sched.fixture_types
+"""Good: hot-path dataclasses declare slots."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True, frozen=True)
+class Span:
+    start: float
+    stop: float

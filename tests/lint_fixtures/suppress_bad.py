@@ -1,0 +1,8 @@
+# replint-fixture-module: repro.api.fixture_suppress
+"""Bad: a disable without justification must not suppress."""
+
+import numpy as np
+
+
+def jitter():
+    return np.random.rand(4)  # replint: disable=rng-discipline

@@ -1,0 +1,9 @@
+# replint-fixture-module: repro.api.fixture_suppress_ok
+"""Good: a justified escape hatch suppresses the finding."""
+
+import numpy as np
+
+
+def jitter():
+    # replint: disable=rng-discipline -- fixture demonstrating a justified suppression
+    return np.random.rand(4)

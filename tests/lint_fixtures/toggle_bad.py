@@ -1,0 +1,10 @@
+# replint-fixture-module: tests.fixture_toggle_bad
+"""Bad: raw toggle calls leak across tests on failure."""
+
+from repro.dist import routing
+
+
+def test_reference_parity(plan, fast):
+    routing.set_reference_mode(True)
+    assert (plan.pairs(), plan.cost()) == fast
+    routing.set_reference_mode(False)

@@ -1,0 +1,15 @@
+# replint-fixture-module: tests.fixture_toggle
+"""Good: toggles flipped only inside a context-managed helper."""
+
+import contextlib
+
+from repro.dist import routing
+
+
+@contextlib.contextmanager
+def reference_routing():
+    previous = routing.set_reference_mode(True)
+    try:
+        yield
+    finally:
+        routing.set_reference_mode(previous)
