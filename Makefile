@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench-smoke bench-policies bench-throughput lint \
-	replint lint-all selfcheck solve serve clean
+.PHONY: test test-fast bench-smoke bench-policies bench-throughput \
+	bench-daemon lint replint lint-all selfcheck solve serve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
@@ -21,7 +21,8 @@ test-fast:
 ## regressions (serve asserts packed makespan < serial full grid).
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) -m pytest -x -q benchmarks/bench_redistribute.py \
-		benchmarks/bench_serve.py benchmarks/bench_throughput.py
+		benchmarks/bench_serve.py benchmarks/bench_throughput.py \
+		benchmarks/bench_daemon.py
 
 ## Full-fat serve + policy-comparison sweep: gates backfill <= LPT (with
 ## the mixed-stream strict win), LPT <= 1.5x the exhaustive optimum on
@@ -36,6 +37,13 @@ bench-policies:
 ## writes benchmarks/results/BENCH_throughput.json (CI uploads it).
 bench-throughput:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_throughput.py
+
+## Online-daemon load test: the full serving pipeline (arrivals ->
+## admission -> priority queue -> batch flushes) gated on a sustained
+## wall-clock req/s floor; writes benchmarks/results/BENCH_daemon.json
+## (CI uploads it).
+bench-daemon:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_daemon.py
 
 ## Ruff lint + formatting check (CI runs both; requires ruff on PATH).
 lint:

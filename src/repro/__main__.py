@@ -62,19 +62,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import HARDWARE_PRESETS
-    from repro.api.serve import poisson_stream, replay
-    from repro.analysis.serve import policy_gap_report, serve_report
 
     params = HARDWARE_PRESETS[args.machine]
-    requests_spec = poisson_stream(
+    if args.daemon:
+        return _serve_daemon(args, params)
+    from repro.analysis.serve import (
+        cache_stats_report,
+        policy_gap_report,
+        serve_report,
+    )
+    from repro.api.online.arrivals import synthetic_stream
+
+    requests_spec = synthetic_stream(
         count=args.requests,
         rate=args.rate,
+        process=args.arrivals,
         n_range=(args.n_min, args.n_max),
         k_range=(args.k_min, args.k_max),
         seed=args.seed,
     )
+    last_outcome = []
 
     def run() -> int:
+        from repro.api.serve import replay
+
         if args.gap:
             print(
                 policy_gap_report(
@@ -93,6 +104,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verify=not args.no_verify,
             policy=args.policy,
         )
+        last_outcome.append(outcome)
         print(serve_report(outcome))
         return 0
 
@@ -108,7 +120,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pstats.Stats(prof, stream=buf).strip_dirs().sort_stats("cumulative").print_stats(25)
     print("\nprofile (top 25 by cumulative time):")
     print(buf.getvalue())
+    print("cache stats:")
+    print(cache_stats_report(last_outcome[-1] if last_outcome else None))
     return rc
+
+
+def _serve_daemon(args: argparse.Namespace, params) -> int:
+    """The ``serve --daemon`` entry: stdin/socket protocol or load test."""
+    from repro.api.online.admission import AdmissionConfig
+    from repro.api.online.daemon import DaemonConfig, ServeDaemon
+
+    admission = AdmissionConfig(
+        rate=args.admit_rate,
+        burst=args.admit_burst,
+        max_queue_depth=args.max_queue,
+    )
+    daemon = ServeDaemon(
+        DaemonConfig(
+            p=args.p,
+            params=params,
+            policy=args.policy,
+            verify=not args.no_verify,
+            time_scale=args.time_scale,
+            batch=args.batch,
+            admission=admission,
+        )
+    )
+    if args.load:
+        import json
+
+        summary = daemon.run_load_test(
+            args.load,
+            rate=args.rate,
+            process=args.arrivals,
+            n_range=(args.n_min, args.n_max),
+            k_range=(args.k_min, args.k_max),
+            seed=args.seed,
+        )
+        print(json.dumps(summary, separators=(",", ":")))
+        return 0
+    if args.socket:
+        daemon.serve_unix(args.socket)
+        return 0
+    daemon.run_stdin()
+    return 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -247,6 +302,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="run under cProfile and print the top functions by cumulative time",
+    )
+    p_serve.add_argument(
+        "--arrivals",
+        choices=["poisson", "lognormal", "diurnal"],
+        default="poisson",
+        help="arrival process for the synthetic stream (and --daemon --load)",
+    )
+    p_serve.add_argument(
+        "--daemon",
+        action="store_true",
+        help="run the online serving daemon (JSON line protocol on stdin, "
+        "or --socket / --load)",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="daemon only: serve the protocol on a Unix socket instead of stdin",
+    )
+    p_serve.add_argument(
+        "--load",
+        type=int,
+        default=0,
+        metavar="COUNT",
+        help="daemon only: run a seeded load test of COUNT requests and exit",
+    )
+    p_serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=1e-6,
+        help="daemon only: simulated seconds per wall second (default 1e-6)",
+    )
+    p_serve.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        help="daemon only: auto-flush after this many admitted requests",
+    )
+    p_serve.add_argument(
+        "--admit-rate",
+        type=float,
+        default=None,
+        help="daemon only: per-tenant token-bucket refill in requests per "
+        "simulated second (default: no rate limit)",
+    )
+    p_serve.add_argument(
+        "--admit-burst",
+        type=float,
+        default=8.0,
+        help="daemon only: per-tenant token-bucket capacity",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="daemon only: admission queue depth cap (rejects beyond it)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -12,7 +12,13 @@ packing a request queue onto the subgrid pool — as plain-text artifacts:
   replayed under every policy (cache off, so the heuristics are
   apples-to-apples with the cache-incompatible exhaustive optimum), with
   per-policy makespan/occupancy/throughput and the %-above-optimal gap
-  on queues small enough for :class:`~repro.sched.OptimalPolicy`.
+  on queues small enough for :class:`~repro.sched.OptimalPolicy`;
+* :func:`latency_report` — the p50/p95/p99 request-latency line, the
+  *one* formatter both the replay reports and the
+  :mod:`repro.api.online.daemon` telemetry render through;
+* :func:`cache_stats_report` — the cache-layer summary (routing-plan
+  LRU, scheduler PricingMemo, staged-copy operand cache) that
+  ``python -m repro serve --profile`` and the daemon surface.
 
 The rendering functions are duck-typed over the outcome object (no
 import of :mod:`repro.api` at module scope), so they also render
@@ -64,6 +70,59 @@ def occupancy_table(outcome) -> str:
     )
 
 
+def latency_report(percentiles: dict, count: int) -> str:
+    """The one request-latency line replay reports and the daemon share.
+
+    ``percentiles`` maps percentile → seconds (the shape
+    :func:`repro.api.cluster.latency_percentiles` and
+    ``ClusterOutcome.latency_percentiles`` produce); sojourn times are
+    measured finish minus arrival, so queueing is included.
+    """
+    cells = " / ".join(
+        f"p{int(q)} {v * 1e6:.2f} us" for q, v in sorted(percentiles.items())
+    )
+    return f"latency           : {cells} ({count} requests)"
+
+
+def cache_stats_report(outcome=None, plan: dict | None = None) -> str:
+    """The cache-layer summary ``--profile`` and the daemon telemetry print.
+
+    Three layers, outermost first: the :func:`repro.dist.routing`
+    routing-plan LRU (``plan``, the :func:`plan_cache_stats` dict —
+    fetched live when omitted), the scheduler's PricingMemo
+    staging-target rows, and the staged-copy operand cache — the last
+    two read off ``outcome`` when one is given.
+    """
+    if plan is None:
+        from repro.dist.routing import plan_cache_stats
+
+        plan = plan_cache_stats()
+    plan_total = plan["hits"] + plan["misses"]
+    plan_rate = plan["hits"] / plan_total * 100.0 if plan_total else 0.0
+    lines = [
+        f"routing-plan LRU  : {plan['hits']} hits / {plan['misses']} misses "
+        f"({plan_rate:.1f} %), {plan['entries']} entries"
+    ]
+    if outcome is not None:
+        pricing_total = outcome.pricing_hits + outcome.pricing_misses
+        pricing_rate = outcome.pricing_hit_rate() * 100.0
+        if pricing_total:
+            lines.append(
+                f"pricing memo      : {outcome.pricing_hits} hits / "
+                f"{outcome.pricing_misses} misses ({pricing_rate:.1f} %)"
+            )
+        else:
+            lines.append("pricing memo      : off")
+        if outcome.staging_hits or outcome.staging_misses:
+            lines.append(
+                f"staging cache     : {outcome.staging_hits} hits / "
+                f"{outcome.staging_misses} misses "
+                f"({outcome.staging_hit_rate() * 100.0:.1f} %), "
+                f"{outcome.staging_saved_seconds * 1e6:.2f} us saved"
+            )
+    return "\n".join(lines)
+
+
 def throughput_report(outcome) -> str:
     """Aggregate makespan/occupancy/throughput summary for a serve run."""
     lines = [
@@ -75,7 +134,14 @@ def throughput_report(outcome) -> str:
         f"speedup vs serial : {outcome.speedup_vs_serial():.2f}x",
         f"pool occupancy    : {outcome.occupancy * 100.0:.1f} %",
         f"throughput        : {outcome.throughput() / 1e3:.1f} krequests/s",
+        latency_report(outcome.latency_percentiles(), len(outcome.records)),
     ]
+    sla = outcome.sla_summary()
+    if sla["met"] or sla["missed"]:
+        lines.append(
+            f"SLA               : {sla['met']} met / {sla['missed']} missed "
+            f"({sla['best_effort']} best-effort)"
+        )
     if outcome.staging_hits or outcome.staging_misses:
         lines.append(
             f"staging cache     : {outcome.staging_hits} hits / "

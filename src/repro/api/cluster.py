@@ -56,6 +56,7 @@ True
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,6 +73,26 @@ from repro.machine.validate import ParameterError, require
 from repro.sched.policies import PackingPolicy, make_policy
 from repro.sched.scheduler import Scheduler
 from repro.util.mathutil import is_power_of_two
+
+
+def latency_percentiles(
+    latencies: list[float], percentiles: tuple[float, ...] = (50.0, 95.0, 99.0)
+) -> dict[float, float]:
+    """Nearest-rank latency percentiles in seconds (empty input → all zero).
+
+    The one percentile implementation both :class:`ClusterOutcome` (replay
+    reports) and the :mod:`repro.api.online.daemon` telemetry compute
+    through, rendered by the one formatter
+    :func:`repro.analysis.serve.latency_report`.
+    """
+    lats = sorted(latencies)
+    if not lats:
+        return {q: 0.0 for q in percentiles}
+    out = {}
+    for q in percentiles:
+        rank = max(0, min(len(lats) - 1, int(math.ceil(q / 100.0 * len(lats))) - 1))
+        out[q] = lats[rank]
+    return out
 
 
 @dataclass(slots=True)
@@ -99,6 +120,23 @@ class RequestRecord:
     staging_hit: bool = False
     #: modeled migration seconds this request did *not* pay thanks to it
     staging_saved_seconds: float = 0.0
+    #: the online-serving fields, copied off the request (offline replays
+    #: carry the defaults): when the request arrived, its priority class,
+    #: its SLA deadline in simulated seconds, and its admission tenant
+    arrival: float = 0.0
+    priority: int = 0
+    deadline: float | None = None
+    tenant: str = "default"
+
+    def latency_seconds(self) -> float:
+        """Sojourn time: measured finish minus arrival (queueing included)."""
+        return self.measured_finish - self.arrival
+
+    def sla_met(self) -> bool | None:
+        """Whether the SLA held (``None`` for best-effort requests)."""
+        if self.deadline is None:
+            return None
+        return self.measured_finish <= self.deadline
 
 
 @dataclass(slots=True)
@@ -119,6 +157,9 @@ class ClusterOutcome:
     #: resident-operand stagings served from / missing the cache
     staging_hits: int = 0
     staging_misses: int = 0
+    #: scheduler PricingMemo staging-target traffic (0/0 = cache off)
+    pricing_hits: int = 0
+    pricing_misses: int = 0
     _by_rid: dict[int, RequestRecord] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
@@ -137,6 +178,39 @@ class ClusterOutcome:
         """Cache hit fraction over resident-operand stagings (0 when none)."""
         total = self.staging_hits + self.staging_misses
         return self.staging_hits / total if total else 0.0
+
+    def pricing_hit_rate(self) -> float:
+        """PricingMemo hit fraction over staging-target lookups (0 when off)."""
+        total = self.pricing_hits + self.pricing_misses
+        return self.pricing_hits / total if total else 0.0
+
+    def latencies(self) -> list[float]:
+        """Per-request sojourn times (measured finish minus arrival)."""
+        return [r.latency_seconds() for r in self.records]
+
+    def latency_percentiles(
+        self, percentiles: tuple[float, ...] = (50.0, 95.0, 99.0)
+    ) -> dict[float, float]:
+        """Request-latency percentiles in seconds (empty run → all zero).
+
+        Nearest-rank percentiles over :meth:`latencies` — the p50/p95/p99
+        summary both the replay reports and the daemon telemetry print
+        (one formatter: :func:`repro.analysis.serve.latency_report`).
+        """
+        return latency_percentiles(self.latencies(), percentiles)
+
+    def sla_summary(self) -> dict[str, int]:
+        """SLA outcome counts: requests with deadlines met/missed/best-effort."""
+        met = missed = best_effort = 0
+        for r in self.records:
+            ok = r.sla_met()
+            if ok is None:
+                best_effort += 1
+            elif ok:
+                met += 1
+            else:
+                missed += 1
+        return {"met": met, "missed": missed, "best_effort": best_effort}
 
     def throughput(self) -> float:
         """Completed requests per modeled second."""
@@ -350,6 +424,10 @@ class Cluster:
                     measured_finish=self.machine.group_time(ranks),
                     staging_hit=a.cache_hits > 0,
                     staging_saved_seconds=a.staging_saved_seconds,
+                    arrival=a.request.arrival,
+                    priority=getattr(a.request, "priority", 0),
+                    deadline=getattr(a.request, "deadline", None),
+                    tenant=getattr(a.request, "tenant", "default"),
                 )
             )
         if self.opcache is not None:
@@ -375,6 +453,8 @@ class Cluster:
             staging_saved_seconds=sum(a.staging_saved_seconds for a in schedule.assignments),
             staging_hits=sum(a.cache_hits for a in schedule.assignments),
             staging_misses=sum(a.cache_misses for a in schedule.assignments),
+            pricing_hits=schedule.pricing_hits,
+            pricing_misses=schedule.pricing_misses,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

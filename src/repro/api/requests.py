@@ -81,10 +81,22 @@ class Request:
     ``sizes`` pins the candidate subgrid sizes (e.g. ``(p,)`` forces the
     full machine — how the deprecated one-call wrappers reproduce the
     pre-Cluster behavior bit for bit).
+
+    ``priority``/``deadline``/``tenant`` are the online-serving fields
+    (:mod:`repro.api.online`): higher priority classes are ordered first
+    by the policy layer, ``deadline`` is an SLA target in simulated
+    seconds (ties within a class break earliest-deadline-first), and
+    ``tenant`` names the admission-control fairness domain.  Like
+    ``arrival``, none of them affects pricing — ``pricing_key`` excludes
+    them by contract — and the defaults reproduce the offline behavior
+    bit for bit.
     """
 
     arrival: float = 0.0
     sizes: tuple[int, ...] | None = None
+    priority: int = 0
+    deadline: float | None = None
+    tenant: str = "default"
     kind: str = field(default="request", init=False)
 
     def candidate_sizes(self, capacity: int) -> list[int]:

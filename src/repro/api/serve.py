@@ -24,12 +24,20 @@ from repro.util.randmat import random_dense, random_lower_triangular
 
 @dataclass(frozen=True, slots=True)
 class StreamRequest:
-    """One synthetic solve in the stream: shape plus arrival time."""
+    """One synthetic solve in the stream: shape plus arrival time.
+
+    ``priority``/``deadline``/``tenant`` are the online-serving fields
+    (see :mod:`repro.api.online`); their defaults reproduce the offline
+    streams bit for bit.
+    """
 
     n: int
     k: int
     arrival: float
     seed: int
+    priority: int = 0
+    deadline: float | None = None
+    tenant: str = "default"
 
 
 def _pow2_choices(lo: int, hi: int) -> list[int]:
@@ -57,13 +65,22 @@ def poisson_stream(
     workload the makespan comparison uses).  ``n`` and ``k`` are drawn
     uniformly from the powers of two inside their ranges, so every tuned
     block size divides ``n``.
+
+    The arrival process itself lives in
+    :func:`repro.api.online.arrivals.poisson_arrivals` (alongside the
+    heavy-tailed and diurnal generators this function's superset,
+    :func:`~repro.api.online.arrivals.synthetic_stream`, selects from);
+    delegating through the shared generator keeps this stream
+    bit-identical to its pre-refactor draws.
     """
+    from repro.api.online.arrivals import poisson_arrivals
+
     require(count >= 1, ParameterError, "need at least one request")
     rng = np.random.default_rng(seed)
     ns = _pow2_choices(*n_range)
     ks = _pow2_choices(*k_range)
     arrivals = (
-        np.cumsum(rng.exponential(1.0 / rate, size=count))
+        poisson_arrivals(count, rate, rng=rng)
         if rate > 0.0
         else np.zeros(count)
     )
@@ -124,7 +141,17 @@ def replay(
             B = random_dense(s.n, s.k, seed=s.seed + 1)
             if resident:
                 L, B = cluster.host(L), cluster.host(B)
-        cluster.submit(TrsmRequest(L=L, B=B, verify=verify, arrival=s.arrival))
+        cluster.submit(
+            TrsmRequest(
+                L=L,
+                B=B,
+                verify=verify,
+                arrival=s.arrival,
+                priority=s.priority,
+                deadline=s.deadline,
+                tenant=s.tenant,
+            )
+        )
     return cluster.run()
 
 
@@ -159,7 +186,17 @@ def schedule_stream(
             B = cluster.host(random_dense(s.n, s.k, seed=s.seed + 1))
             pair = shared[(s.n, s.k)] = (L, B)
         L, B = pair
-        requests.append(TrsmRequest(L=L, B=B, verify=False, arrival=s.arrival))
+        requests.append(
+            TrsmRequest(
+                L=L,
+                B=B,
+                verify=False,
+                arrival=s.arrival,
+                priority=s.priority,
+                deadline=s.deadline,
+                tenant=s.tenant,
+            )
+        )
     return Scheduler(
         cluster.pool,
         cluster.params,

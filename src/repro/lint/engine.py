@@ -113,6 +113,9 @@ class LintConfig:
     int32_modules: tuple[str, ...] = ("repro.dist", "repro.machine")
     #: modules whose dataclasses must declare slots=True
     slots_modules: tuple[str, ...] = ("repro.sched", "repro.api", "repro.dist")
+    #: virtual-time-only modules: wall-clock reads are banned
+    #: (wallclock-discipline; the online daemon is allowlisted)
+    wallclock_modules: tuple[str, ...] = ("repro.sched", "repro.dist", "repro.api")
     #: path substrings skipped during collection (fixtures are linted by
     #: their golden tests, not by the repo-wide run)
     exclude: tuple[str, ...] = ("lint_fixtures",)
@@ -300,6 +303,7 @@ def load_config(pyproject: Path | None) -> LintConfig:
         ("charge-modules", "charge_modules"),
         ("int32-modules", "int32_modules"),
         ("slots-modules", "slots_modules"),
+        ("wallclock-modules", "wallclock_modules"),
         ("exclude", "exclude"),
     ):
         if toml_key in section:

@@ -1,4 +1,4 @@
-"""The replint rule catalogue: seven invariants of the cost model, as AST checks.
+"""The replint rule catalogue: eight invariants of the cost model, as AST checks.
 
 Every rule proves (a conservative approximation of) a property the
 reproduction's exactness depends on:
@@ -28,6 +28,11 @@ reproduction's exactness depends on:
   need an explicit ``dtype``; the int32 word-count overflow class is
   guarded dynamically at plan construction, and this keeps new reduction
   sites from reintroducing it.
+* ``wallclock-discipline`` — the scheduler/dist layers run in *virtual*
+  time (the alpha-beta-gamma clock the paper's model defines); a
+  ``time.time()``/``time.monotonic()`` read there couples schedules to
+  the host and breaks replay determinism.  Only the online daemon — the
+  bridge from live arrivals to the simulated machine — is allowlisted.
 
 Rules are project-level: each receives the full :class:`~repro.lint.engine.Project`
 so cross-file checks (the charge-soundness call-graph walk) and per-file
@@ -48,6 +53,16 @@ CHARGES = ("charge", "charge_pointwise", "charge_local")
 TOGGLES = ("set_reference_mode", "set_plan_cache_enabled")
 INT_REDUCTIONS = ("sum", "prod", "cumsum", "cumprod")
 RNG_SAFE_IMPORTS = ("default_rng", "Generator", "SeedSequence", "BitGenerator")
+WALLCLOCK_FNS = (
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+)
 
 
 @dataclass(slots=True, frozen=True)
@@ -440,6 +455,58 @@ def check_int32_accumulation(project: Project, config: LintConfig) -> list[Findi
 
 
 # ---------------------------------------------------------------------------
+# wallclock-discipline
+
+
+def check_wallclock_discipline(project: Project, config: LintConfig) -> list[Finding]:
+    """Virtual-time layers must never read the host clock.
+
+    Flags ``time.<fn>`` attribute access (calls *and* bare references —
+    ``clock=time.monotonic`` smuggles the wall clock just as well) and
+    ``from time import <fn>`` for the reading functions; ``time.sleep``
+    and the struct/formatting helpers are not clock reads and pass.
+    """
+    out: list[Finding] = []
+    for src in project.in_modules(config.wallclock_modules):
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [a.name for a in node.names if a.name in WALLCLOCK_FNS]
+                if bad:
+                    out.append(
+                        _finding(
+                            "wallclock-discipline",
+                            src,
+                            node,
+                            f"wall-clock import(s) {', '.join(bad)} from `time`: "
+                            "virtual-time layers schedule on the modeled "
+                            "alpha-beta-gamma clock only",
+                            quals[node],
+                        )
+                    )
+                continue
+            if not (
+                isinstance(node, ast.Attribute)
+                and node.attr in WALLCLOCK_FNS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+            ):
+                continue
+            out.append(
+                _finding(
+                    "wallclock-discipline",
+                    src,
+                    node,
+                    f"wall-clock read `time.{node.attr}`: virtual-time layers "
+                    "schedule on the modeled alpha-beta-gamma clock only "
+                    "(inject a clock if one is genuinely needed)",
+                    quals[node],
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 RULES: dict[str, Rule] = {
@@ -479,6 +546,11 @@ RULES: dict[str, Rule] = {
             "int32-accumulation",
             "integer reductions in routing-adjacent code need an explicit dtype",
             check_int32_accumulation,
+        ),
+        Rule(
+            "wallclock-discipline",
+            "virtual-time layers (sched/dist/api) must not read the wall clock",
+            check_wallclock_discipline,
         ),
     )
 }

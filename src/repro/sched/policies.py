@@ -45,6 +45,28 @@ if TYPE_CHECKING:
 _TIE = 1e-6
 
 
+def priority_of(req: object) -> int:
+    """The request's priority class (0 for requests without the field).
+
+    Foreign objects that merely satisfy the scheduler protocol (the test
+    fakes, hand-rolled requests) predate the online-serving fields, so
+    the policy layer reads them defensively.
+    """
+    return int(getattr(req, "priority", 0))
+
+
+def deadline_of(req: object) -> float:
+    """The request's SLA deadline in simulated seconds (``inf`` when none).
+
+    ``inf`` makes deadline a total order: within a priority class,
+    deadline-bearing requests sort earliest-deadline-first ahead of
+    best-effort ones, and requests without the field tie exactly as
+    before the online subsystem existed.
+    """
+    deadline = getattr(req, "deadline", None)
+    return float("inf") if deadline is None else float(deadline)
+
+
 @dataclass(frozen=True, slots=True)
 class Candidate:
     """One priced placement option: a request on a concrete subgrid, now."""
@@ -261,12 +283,34 @@ class PolicyContext:
                 return finish
         return None
 
+    # -- the priority-aware view ---------------------------------------------
+
+    def class_order(self) -> list[tuple[int, SchedulableRequest]]:
+        """Arrived requests in serving order: the priority-aware view.
+
+        Higher priority classes first; within a class earliest SLA
+        deadline first (best-effort requests, deadline ``inf``, behind
+        any deadline-bearing one); remaining ties longest best-case
+        execution first — the historical LPT rank.  The sort is stable
+        and every tier is neutral under the defaults (one class, no
+        deadlines), so offline streams order exactly as they always did:
+        this *is* :func:`lpt_order` when no request carries the online
+        fields, which is what keeps the golden schedules pinned.
+        """
+        arrived = self.arrived()
+        arrived.sort(
+            key=lambda it: (
+                -priority_of(it[1]),
+                deadline_of(it[1]),
+                -self.min_exec_seconds(it[1]),
+            )
+        )
+        return arrived
+
 
 def lpt_order(ctx: PolicyContext) -> list[tuple[int, SchedulableRequest]]:
-    """Arrived requests, longest best-case execution first (stable)."""
-    arrived = ctx.arrived()
-    arrived.sort(key=lambda it: -ctx.min_exec_seconds(it[1]))
-    return arrived
+    """Arrived requests in serving order (see :meth:`PolicyContext.class_order`)."""
+    return ctx.class_order()
 
 
 class PackingPolicy:
@@ -322,7 +366,15 @@ class BackfillPolicy(PackingPolicy):
     The reservation is *sticky*: the reserved request keeps queue
     priority until it is placed, even if a longer request arrives in the
     meantime (a reservation is a promise — new arrivals go behind it,
-    exactly as in EASY backfilling's FCFS guarantee).
+    exactly as in EASY backfilling's FCFS guarantee).  The one exception
+    is the online-serving priority ladder: a reservation held by a
+    *queued* request is dropped when a strictly higher priority class
+    arrives — the preempting request becomes the new head and the old
+    head re-reserves behind it.  Only queued work is ever preempted;
+    committed placements (running work) are never revoked, so preemption
+    can change who waits but never rolls back the simulated machine.
+    ``preemptions`` logs every ``(decision time, preempted index,
+    preempting index)``.
 
     **No-delay invariant**: a backfilled placement returns its block by
     the reserved time, and buddy coalescing is canonical in the lease
@@ -340,10 +392,13 @@ class BackfillPolicy(PackingPolicy):
     def __init__(self) -> None:
         #: (decision time, blocked head index, reserved start) log
         self.reservations: list[tuple[float, int, float]] = []
+        #: (decision time, preempted index, preempting index) log
+        self.preemptions: list[tuple[float, int, int]] = []
         self._reserved: int | None = None
 
     def reset(self, requests: Sequence[object]) -> None:
         self.reservations = []
+        self.preemptions = []
         self._reserved = None
 
     def choose(self, ctx: PolicyContext) -> Decision | None:
@@ -354,6 +409,12 @@ class BackfillPolicy(PackingPolicy):
             at = [i for i, it in enumerate(order) if it[0] == self._reserved]
             if not at:
                 self._reserved = None  # placed on a previous pass
+            elif priority_of(order[0][1]) > priority_of(order[at[0]][1]):
+                # A strictly higher priority class arrived: the *queued*
+                # reservation is preempted (running placements are never
+                # revoked) and the new head reserves in its place below.
+                self.preemptions.append((ctx.now, self._reserved, order[0][0]))
+                self._reserved = None
             elif at[0] != 0:
                 order.insert(0, order.pop(at[0]))
         index, req = order[0]

@@ -149,6 +149,10 @@ class Schedule:
     evictions: list[tuple[float, ProcessorGrid]] = field(default_factory=list)
     #: name of the packing policy that produced this schedule
     policy: str = "lpt"
+    #: staging-target traffic of the pass's PricingMemo (0/0 when the
+    #: pricing cache was off) — the hit/miss rates telemetry surfaces
+    pricing_hits: int = 0
+    pricing_misses: int = 0
 
     @property
     def makespan(self) -> float:
@@ -400,4 +404,6 @@ class Scheduler:
             capacity=alloc.capacity,
             evictions=evictions,
             policy=self.policy.name,
+            pricing_hits=memo.hits if memo is not None else 0,
+            pricing_misses=memo.misses if memo is not None else 0,
         )

@@ -1,0 +1,13 @@
+# replint-fixture-module: repro.sched.fixture_clock_bad
+"""Bad: virtual-time scheduler code reading the host wall clock."""
+
+import time
+from time import monotonic, perf_counter  # noqa: F401
+
+
+def stamp_now() -> float:
+    return time.time()
+
+
+def default_clock():
+    return time.monotonic

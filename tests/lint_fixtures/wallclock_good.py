@@ -1,0 +1,17 @@
+# replint-fixture-module: repro.sched.fixture_clock_good
+"""Good: virtual time comes from the event loop; a real clock is injected."""
+
+import time
+from typing import Callable
+
+
+def wait_poll(seconds: float) -> None:
+    time.sleep(seconds)  # sleeping is not a clock *read*
+
+
+def finish_time(ctx, exec_seconds: float) -> float:
+    return ctx.now + exec_seconds
+
+
+def run(clock: Callable[[], float]) -> float:
+    return clock()

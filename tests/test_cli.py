@@ -1,5 +1,8 @@
 """CLI tests (python -m repro)."""
 
+import io
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -89,6 +92,44 @@ class TestServe:
         assert "modeled makespan" in out
         assert "profile (top 25 by cumulative time):" in out
         assert "cumtime" in out
+        # the cache-layer summary rides along with --profile
+        assert "cache stats:" in out
+        assert "routing-plan LRU" in out
+        assert "pricing memo" in out
+
+
+class TestServeDaemon:
+    def test_daemon_stdin_round_trip(self, capsys, monkeypatch):
+        lines = "\n".join(
+            [
+                json.dumps({"op": "trsm", "n": 32, "k": 8, "sla": 1e9}),
+                json.dumps({"op": "shutdown"}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        assert main(["serve", "-p", "16", "--daemon", "--no-verify"]) == 0
+        out = [json.loads(x) for x in capsys.readouterr().out.splitlines()]
+        assert out[0]["decision"] == "admitted"
+        shutdown = next(o for o in out if o.get("op") == "shutdown")
+        assert shutdown["final_flush"]["completed"] == 1
+        assert shutdown["final_flush"]["results"][0]["sla_met"] is True
+
+    def test_daemon_load_test(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "-p", "16", "--daemon", "--load", "4",
+                    "--rate", "1e4", "--arrivals", "diurnal",
+                    "--n-min", "32", "--n-max", "32",
+                    "--k-min", "8", "--k-max", "8",
+                    "--no-verify", "--batch", "2",
+                ]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert summary["offered"] == 4 and summary["completed"] == 4
+        assert summary["flushes"] == 2
 
 
 class TestOtherCommands:

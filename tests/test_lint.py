@@ -131,6 +131,28 @@ class TestInt32Accumulation:
         ]
 
 
+class TestWallclockDiscipline:
+    def test_good(self):
+        assert lint_fixture("wallclock_good.py") == []
+
+    def test_bad(self):
+        assert lint_fixture("wallclock_bad.py") == [
+            ("wallclock-discipline", 5),
+            ("wallclock-discipline", 9),
+            ("wallclock-discipline", 13),
+        ]
+
+    def test_daemon_is_allowlisted_not_exempt(self):
+        """The daemon's wall-clock default is caught by the rule and silenced
+        only by the pyproject allowlist — moving the read elsewhere re-fires."""
+        config = load_config(ROOT / "pyproject.toml")
+        daemon = ROOT / "src" / "repro" / "api" / "online" / "daemon.py"
+        raw = lint_paths([str(daemon)], config=LintConfig(exclude=()))
+        assert any(f.rule == "wallclock-discipline" for f in raw)
+        allowed = lint_paths([str(daemon)], config=config)
+        assert [f.rule for f in allowed] == []
+
+
 class TestEscapeHatch:
     def test_justified_suppression_silences(self):
         assert lint_fixture("suppress_good.py") == []
@@ -213,6 +235,7 @@ class TestEngine:
             "slots-required",
             "rng-discipline",
             "int32-accumulation",
+            "wallclock-discipline",
         }
 
 
