@@ -25,9 +25,10 @@ bench-smoke:
 		benchmarks/bench_daemon.py
 
 ## Full-fat serve + policy-comparison sweep: gates backfill <= LPT (with
-## the mixed-stream strict win), LPT <= 1.5x the exhaustive optimum on
-## small queues, and the opcache reuse floor; writes
-## benchmarks/results/BENCH_serve.json (the CI bench job uploads it).
+## the mixed-stream strict win), horizon <= min(lpt, backfill) on every
+## recorded stream (counterexample included), horizon <= 1.1x the
+## exhaustive optimum on small queues, and the opcache reuse floor;
+## writes benchmarks/results/BENCH_serve.json (the CI bench job uploads it).
 bench-policies:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_serve.py
 

@@ -17,14 +17,18 @@ acceptance artifact:
   subgrid tenancy, with ``staging_saved_seconds > 0`` and a hit rate of
   at least 50 % on the repeat placements, bit-identically to a cache-off
   run;
-* **policies** — the packing-policy sweep (PR 5): every stream replayed
-  under LPT and conservative backfilling (``backfill makespan <= LPT`` on
-  each, with a *strict* win on the mixed small/large pinned stream), and
-  small queues against the exhaustive :class:`~repro.sched.OptimalPolicy`
-  ground truth (``LPT <= 1.5 x optimal``).  The whole sweep — plus the
-  opcache reuse gate — is emitted as machine-readable
-  ``benchmarks/results/BENCH_serve.json`` so the CI bench job can upload
-  it and track the trajectory across commits.
+* **policies** — the packing-policy sweep (PR 5, tightened by the
+  rolling-horizon PR): every stream replayed under LPT, conservative
+  backfilling and the rolling-horizon policy.  Gates: ``backfill <= LPT``
+  on the representative streams (strict win on the mixed small/large
+  pinned stream), ``horizon <= min(lpt, backfill)`` on *every* recorded
+  stream — including the arrival-heavy counterexample where backfill
+  loses to LPT — and ``horizon <= 1.1 x optimal`` on every small queue
+  the exhaustive :class:`~repro.sched.OptimalPolicy` ground truth can
+  price (including the tiny-burst stream where LPT sits ~67 % above the
+  optimum).  The whole sweep — plus the opcache reuse gate — is emitted
+  as machine-readable ``benchmarks/results/BENCH_serve.json`` so the CI
+  bench job can upload it and track the trajectory across commits.
 
 Run via ``make bench-smoke`` (tiny sweep, CI-gated) or directly with
 pytest for the full table.
@@ -161,12 +165,22 @@ def test_prepared_stream_amortizes_factor_migration(emit, benchmark):
 
 def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
     """E10 — packing policies: backfill never loses to LPT on the sweep
-    streams (strict win on the mixed pinned stream), LPT stays within
-    1.5x of the exhaustive optimum on small queues, and the whole
-    comparison lands in ``BENCH_serve.json`` for the CI bench job."""
+    streams (strict win on the mixed pinned stream), horizon never loses
+    to *either* incumbent on any recorded stream (including the
+    arrival-heavy counterexample where backfill loses to LPT), horizon
+    stays within 1.1x of the exhaustive optimum on every small queue,
+    and the whole comparison lands in ``BENCH_serve.json`` for the CI
+    bench job."""
     report: dict = {"smoke": SMOKE, "p": P}
 
-    # -- backfill vs LPT on representative streams -----------------------
+    def _gate_horizon(hor: float, lpt: float, bf: float, label: str) -> None:
+        floor = min(lpt, bf)
+        assert hor <= floor * (1 + 1e-9), (
+            f"horizon must not lose to lpt/backfill ({label}): "
+            f"{hor} > min({lpt}, {bf})"
+        )
+
+    # -- horizon vs backfill vs LPT on representative streams ------------
     sweep_rows = []
     sweep_json = []
     rates = (0.0, 5e4) if SMOKE else (0.0, 2e4, 1e5)
@@ -178,9 +192,16 @@ def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
             )
             lpt = replay(stream, p=P, policy="lpt", cache=False, verify=False)
             bf = replay(stream, p=P, policy="backfill", cache=False, verify=False)
+            hor = replay(stream, p=P, policy="horizon", cache=False, verify=False)
             assert bf.modeled_makespan <= lpt.modeled_makespan * (1 + 1e-9), (
                 f"backfill must not lose to LPT (seed {seed}, rate {rate:.0f}): "
                 f"{bf.modeled_makespan} > {lpt.modeled_makespan}"
+            )
+            _gate_horizon(
+                hor.modeled_makespan,
+                lpt.modeled_makespan,
+                bf.modeled_makespan,
+                f"seed {seed}, rate {rate:.0f}",
             )
             sweep_rows.append(
                 [
@@ -188,7 +209,9 @@ def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
                     f"{rate:.0f}" if rate else "burst",
                     lpt.modeled_makespan * 1e6,
                     bf.modeled_makespan * 1e6,
-                    lpt.modeled_makespan / bf.modeled_makespan,
+                    hor.modeled_makespan * 1e6,
+                    min(lpt.modeled_makespan, bf.modeled_makespan)
+                    / hor.modeled_makespan,
                 ]
             )
             sweep_json.append(
@@ -198,25 +221,35 @@ def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
                     "requests": COUNT,
                     "lpt_makespan_seconds": lpt.modeled_makespan,
                     "backfill_makespan_seconds": bf.modeled_makespan,
+                    "horizon_makespan_seconds": hor.modeled_makespan,
                 }
             )
     report["backfill_vs_lpt"] = sweep_json
-    # Known counterexample (tracked, deliberately not gated): on this
-    # arrival-heavy stream the reservation's conservatism costs ~6% —
-    # the sweep above asserts backfill <= LPT on representative streams,
-    # not universally.
+    # The backfill counterexample (tracked since PR 5): on this
+    # arrival-heavy stream the reservation's conservatism costs backfill
+    # ~6% vs LPT — still deliberately ungated for backfill.  Horizon IS
+    # gated here: the windowed search dominates both incumbents on every
+    # recorded stream, counterexample included.
     if not SMOKE:
         counter = poisson_stream(
             count=COUNT, rate=1e5, n_range=N_RANGE, k_range=K_RANGE, seed=2
         )
         c_lpt = replay(counter, p=P, policy="lpt", cache=False, verify=False)
         c_bf = replay(counter, p=P, policy="backfill", cache=False, verify=False)
+        c_hor = replay(counter, p=P, policy="horizon", cache=False, verify=False)
+        _gate_horizon(
+            c_hor.modeled_makespan,
+            c_lpt.modeled_makespan,
+            c_bf.modeled_makespan,
+            "counterexample seed 2, rate 1e5",
+        )
         report["backfill_counterexample_ungated"] = {
             "seed": 2,
             "rate": 1e5,
             "requests": COUNT,
             "lpt_makespan_seconds": c_lpt.modeled_makespan,
             "backfill_makespan_seconds": c_bf.modeled_makespan,
+            "horizon_makespan_seconds": c_hor.modeled_makespan,
         }
 
     # -- the mixed small/large pinned stream: the strict backfill win ----
@@ -225,14 +258,22 @@ def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
         lambda: replay_mixed(p=16, policy="lpt", smalls=smalls)
     )
     mixed_bf = replay_mixed(p=16, policy="backfill", smalls=smalls)
+    mixed_hor = replay_mixed(p=16, policy="horizon", smalls=smalls)
     win = 1.0 - mixed_bf.modeled_makespan / mixed_lpt.modeled_makespan
     assert mixed_bf.modeled_makespan < mixed_lpt.modeled_makespan, (
         "backfilling must strictly beat greedy LPT on the mixed pinned stream"
     )
     assert win > 0.05, f"the backfill win collapsed to {win * 100.0:.2f}%"
+    _gate_horizon(
+        mixed_hor.modeled_makespan,
+        mixed_lpt.modeled_makespan,
+        mixed_bf.modeled_makespan,
+        "mixed pinned stream",
+    )
     report["mixed_stream_win"] = {
         "lpt_makespan_seconds": mixed_lpt.modeled_makespan,
         "backfill_makespan_seconds": mixed_bf.modeled_makespan,
+        "horizon_makespan_seconds": mixed_hor.modeled_makespan,
         "win_fraction": win,
     }
 
@@ -248,23 +289,31 @@ def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
         data = policy_gap_data(stream, p=p)
         lpt_gap = data["gap_vs_optimal_pct"]["lpt"]
         bf_gap = data["gap_vs_optimal_pct"]["backfill"]
-        assert lpt_gap is not None and lpt_gap <= 50.0, (
-            f"LPT exceeded 1.5x the exhaustive optimum "
-            f"(p={p}, seed={seed}, rate={rate:.0f}: +{lpt_gap:.2f}%)"
+        hor_gap = data["gap_vs_optimal_pct"]["horizon"]
+        assert hor_gap is not None and hor_gap <= 10.0, (
+            f"horizon exceeded 1.1x the exhaustive optimum "
+            f"(p={p}, seed={seed}, rate={rate:.0f}: +{hor_gap:.2f}%)"
         )
-        assert bf_gap is not None and bf_gap >= -1e-6  # optimal is a floor
+        assert hor_gap >= -1e-6  # optimal is a floor
+        assert bf_gap is not None and bf_gap >= -1e-6
+        assert lpt_gap is not None and lpt_gap >= -1e-6
         gap_rows.append(
             [p, seed, f"{rate:.0f}" if rate else "burst",
-             f"+{lpt_gap:.2f}", f"+{bf_gap:.2f}"]
+             f"+{lpt_gap:.2f}", f"+{bf_gap:.2f}", f"+{hor_gap:.2f}"]
         )
         gap_json.append(
             {"p": p, "seed": seed, "rate": rate, **data}
         )
-    # adversarial tiny-burst stream: tracked in the JSON (the trajectory
-    # the gap report exists to close), deliberately not gated
+    # adversarial tiny-burst stream: the ~67% LPT/backfill loss stays
+    # tracked (ungated) in the JSON — but horizon is gated to close it
     adversarial = policy_gap_data(
         poisson_stream(count=6, rate=0.0, n_range=(32, 64), k_range=(8, 16), seed=0),
         p=16,
+    )
+    adv_hor = adversarial["gap_vs_optimal_pct"]["horizon"]
+    assert adv_hor is not None and -1e-6 <= adv_hor <= 10.0, (
+        f"horizon exceeded 1.1x the optimum on the adversarial tiny burst "
+        f"(+{adv_hor:.2f}%)"
     )
     report["gap_vs_optimal"] = gap_json
     report["gap_adversarial_ungated"] = adversarial
@@ -284,12 +333,12 @@ def test_policy_sweep_emits_bench_json(emit, results_dir, benchmark):
     path = pathlib.Path(results_dir) / "BENCH_serve.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
     table = format_table(
-        ["seed", "rate 1/s", "lpt us", "backfill us", "lpt/backfill"],
+        ["seed", "rate 1/s", "lpt us", "backfill us", "horizon us", "best/horizon"],
         sweep_rows,
-        title=f"Backfill vs LPT sweep (p={P}, n in {N_RANGE}, k in {K_RANGE})",
+        title=f"Policy sweep (p={P}, n in {N_RANGE}, k in {K_RANGE})",
     )
     gap_table = format_table(
-        ["p", "seed", "rate 1/s", "lpt vs opt", "backfill vs opt"],
+        ["p", "seed", "rate 1/s", "lpt vs opt", "backfill vs opt", "horizon vs opt"],
         gap_rows,
         title="Small-queue gap vs exhaustive optimum (6 requests, cache off)",
     )

@@ -283,9 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument(
         "--policy",
-        choices=["lpt", "backfill", "optimal"],
+        choices=["lpt", "backfill", "optimal", "horizon"],
         default="lpt",
-        help="packing policy (optimal is exhaustive: queues of <= 8 only)",
+        help="packing policy (optimal is exhaustive: queues of <= 8 only; "
+        "horizon runs the same search on a sliding window at any length)",
     )
     p_serve.add_argument(
         "--gap",
@@ -446,8 +447,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.machine.validate import ParameterError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return int(args.func(args))
+    except ParameterError as exc:
+        # a refused configuration (e.g. `--policy optimal` on a queue
+        # longer than its exhaustive-search bound) is a usage error, not
+        # a crash: one line, exit 2 (argparse's own usage-error code)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

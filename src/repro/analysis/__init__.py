@@ -24,6 +24,7 @@ from repro.analysis.tables import (
 )
 from repro.analysis.report import format_table
 from repro.analysis.serve import (
+    format_gap_pct,
     occupancy_table,
     policy_gap_data,
     policy_gap_report,
@@ -32,6 +33,7 @@ from repro.analysis.serve import (
 )
 
 __all__ = [
+    "format_gap_pct",
     "occupancy_table",
     "policy_gap_data",
     "policy_gap_report",

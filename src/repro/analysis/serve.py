@@ -160,19 +160,21 @@ def policy_gap_data(
     stream,
     p: int,
     params=None,
-    policies: tuple[str, ...] = ("lpt", "backfill", "optimal"),
+    policies: tuple[str, ...] = ("lpt", "backfill", "horizon", "optimal"),
     optimal_max: int = 8,
     verify: bool = False,
 ) -> dict:
     """Replay ``stream`` under every policy; return the comparison as data.
 
     Every replay is uncached (``cache=False``) so the heuristics pay the
-    same staging prices the pre-planning optimum does.  ``"optimal"`` is
+    same staging prices the pre-planning policies do.  ``"optimal"`` is
     skipped (entry ``None``) on queues longer than ``optimal_max`` — the
-    exhaustive search is exponential in the queue length.  The result is
-    JSON-ready: per-policy ``makespan_seconds`` / ``occupancy`` /
-    ``throughput_rps``, plus ``gap_vs_optimal_pct`` (how far each
-    heuristic sits above the ground-truth makespan) when the optimum ran.
+    exhaustive search is exponential in the queue length; ``"horizon"``
+    runs the same search windowed, so it serves at any length.  The
+    result is JSON-ready: per-policy ``makespan_seconds`` / ``occupancy``
+    / ``throughput_rps``, plus ``gap_vs_optimal_pct`` (how far each
+    policy sits above the ground-truth makespan — ``None`` entries mean
+    the optimum did not run) when the optimum ran.
     """
     from repro.api.serve import replay
 
@@ -208,11 +210,16 @@ def policy_gap_data(
     }
 
 
+def format_gap_pct(gap: float | None) -> str:
+    """Render one ``gap_vs_optimal_pct`` cell; ``None`` (no optimum) is ``—``."""
+    return "—" if gap is None else f"{gap:+.2f}"
+
+
 def policy_gap_report(
     stream,
     p: int,
     params=None,
-    policies: tuple[str, ...] = ("lpt", "backfill", "optimal"),
+    policies: tuple[str, ...] = ("lpt", "backfill", "horizon", "optimal"),
     optimal_max: int = 8,
     verify: bool = False,
 ) -> str:
@@ -224,7 +231,7 @@ def policy_gap_report(
     rows = []
     for name, res in data["policies"].items():
         if res is None:
-            rows.append([name, "n/a (queue too long)", "-", "-", "-"])
+            rows.append([name, "n/a (queue too long)", "—", "—", "—"])
             continue
         gap = data["gap_vs_optimal_pct"].get(name)
         rows.append(
@@ -233,7 +240,7 @@ def policy_gap_report(
                 f"{res['makespan_seconds'] * 1e6:.2f}",
                 f"{res['occupancy'] * 100.0:.1f}",
                 f"{res['throughput_rps'] / 1e3:.1f}",
-                "-" if gap is None else f"{gap:+.2f}",
+                format_gap_pct(gap),
             ]
         )
     return format_table(

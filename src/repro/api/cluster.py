@@ -8,7 +8,8 @@ requests (:mod:`repro.api.requests`) are queued with :meth:`submit`;
 :class:`~repro.sched.Scheduler` and replays the packing on the machine.
 The packing decision rule is pluggable (``policy="lpt"`` greedy LPT, the
 default; ``"backfill"`` conservative no-delay backfilling; ``"optimal"``
-exhaustive ground truth for queues of ≤ 8 — see
+exhaustive ground truth for queues of ≤ 8; ``"horizon"`` the same search
+on a sliding window, serving any queue length — see
 :mod:`repro.sched.policies`).
 
 Because a charge only advances the clocks of the ranks it touches, requests
@@ -246,8 +247,8 @@ class Cluster:
         self.machine = Machine(
             self.p, params=self.params, trace=trace, collectives=collectives
         )
-        #: the packing decision rule ("lpt", "backfill", "optimal", or a
-        #: PackingPolicy instance; see repro.sched.policies)
+        #: the packing decision rule ("lpt", "backfill", "optimal",
+        #: "horizon", or a PackingPolicy instance; see repro.sched.policies)
         self.policy = make_policy(policy)
         #: the quadrant pool over all ranks (repro.sched.SubgridAllocator)
         self.pool = self.machine.grid_pool()

@@ -112,10 +112,11 @@ def replay(
     placement is charged the exact migration plan; ``resident=False``
     passes globals (free Require-clause placement) — useful to isolate the
     scheduling gain from the migration cost.  ``policy`` selects the
-    packing rule (``"lpt"``/``"backfill"``/``"optimal"``; see
-    :mod:`repro.sched.policies`) and ``cache=False`` disables the staged-
-    copy operand cache — the gap report runs every policy uncached so the
-    comparison is apples-to-apples with the (cache-incompatible) optimum.
+    packing rule (``"lpt"``/``"backfill"``/``"optimal"``/``"horizon"``;
+    see :mod:`repro.sched.policies`) and ``cache=False`` disables the
+    staged-copy operand cache — the gap report runs every policy uncached
+    so the comparison is apples-to-apples with the (cache-incompatible)
+    pre-planning policies.
 
     ``shared_operands=True`` hosts **one** ``(L, B)`` pair per distinct
     ``(n, k)`` shape (seeded by the shape's first stream entry) and lets

@@ -16,15 +16,18 @@ front-end schedules arbitrary request queues with:
   eviction timeline;
 * :mod:`repro.sched.policies` — the pluggable decision rules:
   :class:`LPTPolicy` (greedy longest-first, the default),
-  :class:`BackfillPolicy` (conservative no-delay backfilling), and
+  :class:`BackfillPolicy` (conservative no-delay backfilling),
   :class:`OptimalPolicy` (exhaustive branch-and-bound ground truth for
-  small queues).
+  small queues), and :class:`HorizonPolicy` (the branch-and-bound on a
+  sliding window with backfill beyond it — optimal-quality packing at
+  any queue length).
 """
 
 from repro.sched.allocator import SubgridAllocator
 from repro.sched.policies import (
     POLICIES,
     BackfillPolicy,
+    HorizonPolicy,
     LPTPolicy,
     OptimalPolicy,
     PackingPolicy,
@@ -41,6 +44,7 @@ __all__ = [
     "LPTPolicy",
     "BackfillPolicy",
     "OptimalPolicy",
+    "HorizonPolicy",
     "POLICIES",
     "make_policy",
 ]

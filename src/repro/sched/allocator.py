@@ -190,13 +190,25 @@ class SubgridAllocator:
         """A detached copy: same root, same leases, no destroy hook.
 
         The scheduler's policies simulate against clones (reservation
-        lookahead, branch-and-bound), so what-if releases never emit
-        destroy events on the real pool.
+        lookahead, running-work-aware branch-and-bound), so what-if
+        releases never emit destroy events on the real pool.
         """
         pool = SubgridAllocator(self._root.grid)
         for grid in self._leases:
             pool.lease_exact(grid)
         return pool
+
+    def drained_clone(self) -> "SubgridAllocator":
+        """A detached *empty* pool over the same root grid.
+
+        A drained pool serves every block size at its canonical (first
+        half each split) position, which is what the branch-and-bound
+        lower bounds price against even while the live pool is busy —
+        our cyclic layouts route the same word counts to every congruent
+        block, so the canonical price stands in for any block of that
+        size.
+        """
+        return SubgridAllocator(self._root.grid)
 
     def release(self, grid: ProcessorGrid) -> None:
         """Return a leased subgrid; buddy pairs coalesce back toward the root."""

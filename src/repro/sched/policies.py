@@ -4,7 +4,7 @@ The :class:`~repro.sched.scheduler.Scheduler` owns the event loop — when
 time advances, how placements commit, how the operand-cache plan and the
 allocator destroy events are replayed — but *which* request is placed on
 *which* subgrid size at each decision point is a strategy.  This module
-defines that strategy interface (:class:`PackingPolicy`) and three
+defines that strategy interface (:class:`PackingPolicy`) and four
 implementations the gap report in :mod:`repro.analysis.serve` compares:
 
 * :class:`LPTPolicy` — the greedy longest-processing-time rule the
@@ -18,7 +18,14 @@ implementations the gap report in :mod:`repro.analysis.serve` compares:
 * :class:`OptimalPolicy` — branch-and-bound exhaustive search over all
   event-aligned schedules of a small queue (≤ 8 requests by default),
   pruned by the area bound; the ground-truth baseline the gap report
-  measures the heuristics against.
+  measures the heuristics against;
+* :class:`HorizonPolicy` — the rolling-horizon composition of the two:
+  the same branch-and-bound run over a sliding window of queued
+  requests, seeded from the *live* allocator state (running placements
+  and all), committing only the head of each plan and re-planning when
+  the window's membership changes, with conservative backfill scoring
+  for arrived requests beyond the window.  Serves queues of any length
+  at bounded per-decision cost.
 
 Every placement option a policy considers is priced by the scheduler's
 own pricing hook (closed-form execution cost plus the exact
@@ -176,6 +183,16 @@ class PolicyContext:
         if self._memo is not None:
             return self._memo.rest_area(index)
         return sum(self.min_area(r) for j, r in self.pending if j != index)
+
+    def staging_seconds(self, req: SchedulableRequest, grid: ProcessorGrid) -> float:
+        """Seconds to stage ``req``'s resident operands onto ``grid``.
+
+        The raw charged-staging time of the scheduler's pricing hook —
+        what the branch-and-bound search memoizes per (request, concrete
+        grid) without building a full :class:`Candidate`.
+        """
+        staging, _saved, _targets = self._pricer(req, grid)
+        return staging.time(self.params)
 
     def price(
         self,
@@ -442,6 +459,228 @@ class BackfillPolicy(PackingPolicy):
         return None
 
 
+#: one planned placement: (queue index, request, size, start, grid)
+PlanEntry = tuple[int, "SchedulableRequest", int, float, ProcessorGrid]
+
+
+def _search_window(
+    ctx: PolicyContext,
+    items: Sequence[tuple[int, "SchedulableRequest"]],
+    running: Sequence[tuple[float, int, int, ProcessorGrid]],
+    node_budget: int | None = None,
+) -> tuple[list[PlanEntry], float, int]:
+    """Branch-and-bound minimum-makespan plan for ``items``, live state in.
+
+    The one exhaustive search both :class:`OptimalPolicy` (whole queue,
+    idle pool, unbounded) and :class:`HorizonPolicy` (sliding window,
+    running work, budgeted) plan with.  ``running`` seeds the search with
+    the committed-but-unfinished placements — their blocks are leased in
+    the scratch pool (:meth:`SubgridAllocator.clone` reconstructs the
+    live lease set via ``lease_exact``) and released as the search's wait
+    branches reach their modeled finishes — so re-planning mid-stream
+    sees exactly the machine the event loop sees.
+
+    ``node_budget`` bounds the search: once that many nodes have been
+    explored *and* a complete incumbent exists, remaining branches are
+    abandoned and the incumbent plan is returned.  The first descent
+    follows the greedy scoring to a complete schedule, so any budget
+    yields a feasible plan; an unbounded search (``None``) returns the
+    exact optimum.
+
+    Returns ``(plan, makespan, nodes_explored)`` where ``plan`` is the
+    chronological placement list and ``makespan`` the modeled completion
+    time of the planned window plus the seeded running work (the event
+    timeline scale the plan-following tolerance derives from).
+    """
+    params, capacity = ctx.params, ctx.capacity
+    items = list(items)
+    req_by = dict(items)
+    arrival = {i: req.arrival for i, req in items}
+    sizes = {i: ctx.candidate_sizes(req) for i, req in items}
+    pool = ctx.scratch_pool()
+    bounds_pool = ctx.allocator.drained_clone()
+    best: dict = {"makespan": float("inf"), "plan": None}
+    seen: dict = {}
+    nodes = 0
+
+    # Durations are pure in (request, concrete grid): memoize across
+    # the whole search (staging plans are the expensive part).
+    exec_memo: dict[tuple[int, int], float] = {
+        (i, s): ctx.exec_seconds(req, s) for i, req in items for s in sizes[i]
+    }
+    stage_memo: dict[tuple[int, ProcessorGrid], float] = {}
+
+    def duration_of(i: int, size: int, grid: ProcessorGrid) -> float:
+        key = (i, grid)
+        staged = stage_memo.get(key)
+        if staged is None:
+            staged = ctx.staging_seconds(req_by[i], grid)
+            stage_memo[key] = staged
+        return staged + exec_memo[(i, size)]
+
+    # Staging-inclusive lower bounds, priced on a drained pool's
+    # canonical blocks (our cyclic layouts route the same word counts
+    # to every congruent block, so the canonical price stands in for
+    # any block of that size — including blocks the live leases hide):
+    # the shortest possible duration of each request and the fewest
+    # rank-seconds it can consume.
+    dur0: dict[tuple[int, int], float] = {}
+    for i, _req in items:
+        for s in sizes[i]:
+            grid0 = bounds_pool.preview(s)
+            assert grid0 is not None  # a drained pool serves every size
+            dur0[(i, s)] = duration_of(i, s, grid0)
+    min_dur = {
+        i: min((dur0[(i, s)] for s in sizes[i]), default=0.0) for i, _req in items
+    }
+    areas = {
+        i: min((s * dur0[(i, s)] for s in sizes[i]), default=0.0)
+        for i, _req in items
+    }
+
+    def state_key(
+        pending: frozenset[int],
+        running: list[tuple[float, int, int, ProcessorGrid]],
+        now: float,
+        barrier: int,
+    ) -> tuple:
+        # exact floats: rounding could alias a state with its own
+        # wait-descendant (e.g. a sub-grain arrival) and prune the
+        # only feasible path; identical placement sets still collide
+        # exactly because their times are the same float sums
+        return (
+            frozenset(pending),
+            tuple(sorted((f, tuple(g.ranks())) for f, _i, _s, g in running)),
+            now,
+            barrier,
+        )
+
+    def dfs(
+        pending: frozenset[int],
+        running: list[tuple[float, int, int, ProcessorGrid]],
+        now: float,
+        plan: list[PlanEntry],
+        max_finish: float,
+        barrier: int,
+    ) -> None:
+        nonlocal nodes
+        if (
+            node_budget is not None
+            and nodes >= node_budget
+            and best["plan"] is not None
+        ):
+            return  # budget spent: keep the incumbent (anytime search)
+        nodes += 1
+        if not pending:
+            if max_finish < best["makespan"]:
+                best["makespan"] = max_finish
+                best["plan"] = list(plan)
+            return
+        # prune: area bound + release-plus-execution bounds
+        lb = max_finish
+        owed = sum((f - now) * g.size for f, _i, _s, g in running)
+        owed += sum(areas[i] for i in pending)
+        lb = max(lb, now + owed / capacity)
+        for i in pending:
+            lb = max(lb, max(now, arrival[i]) + min_dur[i])
+        if lb >= best["makespan"] * (1.0 - 1e-12):
+            return
+        key = state_key(pending, running, now, barrier)
+        prior = seen.get(key)
+        if prior is not None and prior <= max_finish:
+            return
+        seen[key] = max_finish
+        # Placement branches, best-scored first (greedy-first descent,
+        # so the incumbent starts near the heuristics' makespan).
+        # ``barrier`` canonicalizes same-timestamp placements to
+        # increasing request index: committing {A, B} at one decision
+        # time in either order books the same sizes for the same
+        # durations (staging volumes are congruent across same-size
+        # blocks), so only one order needs exploring.
+        options: list[tuple[float, int, int, float]] = []
+        for i in pending:
+            if arrival[i] > now or i <= barrier:
+                continue
+            rest = sum(areas[j] for j in pending if j != i)
+            priced: list[tuple[int, ProcessorGrid, float]] = []
+            for size in sizes[i]:
+                grid = pool.preview(size)
+                if grid is None:
+                    continue
+                priced.append((size, grid, duration_of(i, size, grid)))
+            priced.sort()
+            for pos, (size, grid, duration) in enumerate(priced):
+                # dominated size: a smaller nested block runs this
+                # request at most as long while leaving the pool
+                # strictly freer — the bigger placement can always be
+                # exchanged for the smaller one without losing makespan
+                ranks = set(grid.ranks())
+                if any(
+                    d2 <= duration and set(g2.ranks()) <= ranks
+                    for _s2, g2, d2 in priced[:pos]
+                ):
+                    continue
+                finish = now + duration
+                score = max(finish, now + (rest + size * duration) / capacity)
+                options.append((score, i, size, finish))
+        options.sort(key=lambda o: (o[0], o[2], o[1]))
+        for _score, i, size, finish in options:
+            grid = pool.allocate(size)
+            assert grid is not None
+            entry = (i, req_by[i], size, now, grid)
+            dfs(
+                pending - {i},
+                running + [(finish, i, size, grid)],
+                now,
+                plan + [entry],
+                max(max_finish, finish),
+                i,
+            )
+            pool.release(grid)
+        # wait branch: advance to the next event
+        next_finish = min((f for f, *_ in running), default=None)
+        next_arrival = min(
+            (arrival[i] for i in pending if arrival[i] > now), default=None
+        )
+        candidates = [t for t in (next_finish, next_arrival) if t is not None]
+        if not candidates:
+            require(
+                barrier >= 0 or bool(options),
+                ParameterError,
+                "a pending request fits no allocatable subgrid size",
+            )
+            return
+        nxt = min(candidates)
+        released = [r for r in running if r[0] <= nxt]
+        for _f, _i, _s, g in released:
+            pool.release(g)
+        dfs(
+            pending,
+            [r for r in running if r[0] > nxt],
+            nxt,
+            plan,
+            max_finish,
+            -1,
+        )
+        for _f, _i, _s, g in reversed(released):
+            pool.lease_exact(g)
+
+    dfs(
+        frozenset(i for i, _ in items),
+        list(running),
+        ctx.now,
+        [],
+        max((f for f, *_ in running), default=0.0),
+        -1,
+    )
+    require(
+        best["plan"] is not None,
+        ParameterError,
+        "optimal search found no feasible schedule",
+    )
+    return best["plan"], best["makespan"], nodes
+
+
 class OptimalPolicy(PackingPolicy):
     """Branch-and-bound exhaustive packing of a small queue (ground truth).
 
@@ -459,9 +698,10 @@ class OptimalPolicy(PackingPolicy):
 
     Exhaustive search is exponential: queues above ``max_requests``
     (default 8, the tractability bound the gap report advertises) are
-    rejected.  The policy pre-plans the whole timeline at the first
-    decision point, so it must see the same prices at commit time —
-    combining it with an operand cache is refused
+    rejected — :class:`HorizonPolicy` serves longer queues by running
+    this same search over a sliding window.  The policy pre-plans the
+    whole timeline at the first decision point, so it must see the same
+    prices at commit time — combining it with an operand cache is refused
     (``requires_uncached``); :class:`~repro.api.cluster.Cluster` drops
     its cache automatically when given this policy.
     """
@@ -476,9 +716,8 @@ class OptimalPolicy(PackingPolicy):
             f"max_requests must be positive, got {max_requests}",
         )
         self.max_requests = int(max_requests)
-        self._plan: (
-            list[tuple[int, SchedulableRequest, int, float, ProcessorGrid]] | None
-        ) = None
+        self._plan: list[PlanEntry] | None = None
+        self._plan_span = 0.0
         self._cursor = 0
         #: search-size statistic of the last planning pass (for reports)
         self.nodes_explored = 0
@@ -489,23 +728,27 @@ class OptimalPolicy(PackingPolicy):
             ParameterError,
             f"OptimalPolicy searches exhaustively: a queue of "
             f"{len(requests)} requests exceeds max_requests="
-            f"{self.max_requests} (use lpt/backfill for long queues)",
+            f"{self.max_requests} (use horizon/lpt/backfill for long "
+            "queues)",
         )
         self._plan = None
+        self._plan_span = 0.0
         self._cursor = 0
 
     def choose(self, ctx: PolicyContext) -> Decision | None:
         if self._plan is None:
-            self._plan = self._solve(ctx)
+            self._plan, self._plan_span, self.nodes_explored = _search_window(
+                ctx, list(ctx.pending), list(ctx.running)
+            )
         if self._cursor >= len(self._plan):
             return None
         index, req, size, start, grid = self._plan[self._cursor]
-        # purely relative tolerance: the loop re-derives the plan's times
-        # from the same float arithmetic, so matches are exact up to
-        # reassociation; an absolute slack could emit before an arrival
-        tol = 1e-9 * abs(start)
-        if ctx.now < start - tol:
-            return None  # idle on purpose until the planned start
+        tol = _plan_tolerance(start, self._plan_span)
+        if ctx.now < start - tol or ctx.now < req.arrival:
+            # idle on purpose until the planned start — the arrival check
+            # keeps the tolerance floor from matching a planned start
+            # whose arrival sits closer to the clock than the floor
+            return None
         require(
             ctx.now <= start + tol,
             ParameterError,
@@ -519,190 +762,166 @@ class OptimalPolicy(PackingPolicy):
         self._cursor += 1
         return Decision(index, req, cand)
 
-    # -- the search ---------------------------------------------------------
 
-    def _solve(
-        self, ctx: PolicyContext
-    ) -> list[tuple[int, SchedulableRequest, int, float, ProcessorGrid]]:
-        """Minimum-makespan plan for the whole pending queue."""
+def _plan_tolerance(start: float, span: float) -> float:
+    """Slack for matching a planned start against the event loop's clock.
+
+    The loop re-derives the plan's times from the same float arithmetic,
+    so matches are exact up to reassociation — the tolerance is relative
+    (1 ppb of the planned start).  A purely relative tolerance collapses
+    to *exact* equality when the planned start is 0.0, which made any
+    sub-ulp drift at t = 0 trip the divergence guard; the floor derived
+    from the plan's own event timeline (1 ppb of its makespan — far below
+    any event gap the timeline resolves) keeps re-plans at early
+    timestamps, which :class:`HorizonPolicy` performs constantly, from
+    spuriously diverging.
+    """
+    return 1e-9 * max(abs(start), span)
+
+
+class HorizonPolicy(PackingPolicy):
+    """Rolling-horizon packing: branch-and-bound over a sliding window.
+
+    Closes the measured policy gaps from both sides: on queues that fit
+    the window this *is* :class:`OptimalPolicy` (the plans are
+    bit-identical — property-tested), and on longer queues it keeps the
+    exhaustive search tractable by planning only a window of requests at
+    a time:
+
+    * at each decision point the window holds the first ``window``
+      unplaced requests — arrived requests in priority/LPT serving order
+      first, then future arrivals in arrival order (so the search
+      anticipates near-term arrivals exactly as the full optimum does);
+    * the window is planned with :func:`_search_window`, *seeded from the
+      live allocator state*: committed-but-unfinished placements enter
+      the search as running work whose blocks free up at their modeled
+      finishes — no idle-pool restriction;
+    * only the head of the plan is committed; the rest is followed while
+      it stays valid and re-planned as soon as the window's membership
+      changes (a placement slides the next queued request in, a new
+      arrival jumps in ahead of a future member);
+    * while the plan deliberately idles until its next start, arrived
+      requests *beyond* the window may backfill — with
+      :class:`BackfillPolicy`'s conservative scoring, where the next
+      planned start acts as the reservation: only placements finishing by
+      it are admitted, so backfilled work always returns its block before
+      the plan needs the pool (buddy coalescing is canonical, so the free
+      structure the plan modeled is intact) and the plan is never delayed.
+
+    Each re-plan is budgeted (``node_budget`` search nodes): the
+    branch-and-bound is *anytime* — the greedy-first descent completes an
+    incumbent immediately and further nodes only improve it — so on
+    adversarial windows the policy degrades toward greedy quality instead
+    of stalling the stream.  Per-decision cost is thereby bounded by
+    O(budget) regardless of queue length.  Like the optimum it composes,
+    the policy pre-plans placements, so it requires the operand cache off
+    (``requires_uncached``).  ``replans`` and ``nodes_explored`` expose
+    the planning effort for reports.
+    """
+
+    name = "horizon"
+    requires_uncached = True
+
+    def __init__(self, window: int = 8, node_budget: int | None = 50_000) -> None:
         require(
-            not ctx.running,
-            ParameterError,
-            "OptimalPolicy plans whole queues: the pool must be idle at "
-            "the first decision point",
+            window >= 1, ParameterError, f"window must be positive, got {window}"
         )
-        params, capacity = ctx.params, ctx.capacity
-        items = list(ctx.pending)
-        req_by = dict(items)
-        arrival = {i: req.arrival for i, req in items}
-        sizes = {i: ctx.candidate_sizes(req) for i, req in items}
-        pool = ctx.scratch_pool()
-        best: dict = {"makespan": float("inf"), "plan": None}
-        seen: dict = {}
+        require(
+            node_budget is None or node_budget >= 1,
+            ParameterError,
+            f"node_budget must be positive or None, got {node_budget}",
+        )
+        self.window = int(window)
+        self.node_budget = None if node_budget is None else int(node_budget)
+        self._plan: list[PlanEntry] = []
+        self._plan_span = 0.0
+        self._cursor = 0
+        self._planned = False
+        #: planning-effort statistics of the last scheduling pass
         self.nodes_explored = 0
+        self.replans = 0
 
-        # Durations are pure in (request, concrete grid): memoize across
-        # the whole search (staging plans are the expensive part).
-        exec_memo: dict[tuple[int, int], float] = {
-            (i, s): ctx.exec_seconds(req, s) for i, req in items for s in sizes[i]
-        }
-        stage_memo: dict[tuple[int, ProcessorGrid], float] = {}
+    def reset(self, requests: Sequence[object]) -> None:
+        self._plan = []
+        self._plan_span = 0.0
+        self._cursor = 0
+        self._planned = False
+        self.nodes_explored = 0
+        self.replans = 0
 
-        def duration_of(i: int, size: int, grid: ProcessorGrid) -> float:
-            key = (i, grid)
-            staged = stage_memo.get(key)
-            if staged is None:
-                staging, _saved, _targets = ctx._pricer(req_by[i], grid)
-                staged = staging.time(params)
-                stage_memo[key] = staged
-            return staged + exec_memo[(i, size)]
+    def _window_of(self, ctx: PolicyContext) -> list[tuple[int, SchedulableRequest]]:
+        """The first ``window`` unplaced requests in serving order.
 
-        # Staging-inclusive lower bounds, priced on the drained pool's
-        # canonical blocks (our cyclic layouts route the same word counts
-        # to every congruent block, so the canonical price stands in for
-        # any block of that size): the shortest possible duration of each
-        # request and the fewest rank-seconds it can consume.
-        dur0: dict[tuple[int, int], float] = {}
-        for i, _req in items:
-            for s in sizes[i]:
-                grid0 = pool.preview(s)
-                assert grid0 is not None  # a drained pool serves every size
-                dur0[(i, s)] = duration_of(i, s, grid0)
-        min_dur = {
-            i: min((dur0[(i, s)] for s in sizes[i]), default=0.0) for i, _req in items
-        }
-        areas = {
-            i: min((s * dur0[(i, s)] for s in sizes[i]), default=0.0)
-            for i, _req in items
-        }
-
-        def state_key(
-            pending: frozenset[int],
-            running: list[tuple[float, int, int, ProcessorGrid]],
-            now: float,
-            barrier: int,
-        ) -> tuple:
-            # exact floats: rounding could alias a state with its own
-            # wait-descendant (e.g. a sub-grain arrival) and prune the
-            # only feasible path; identical placement sets still collide
-            # exactly because their times are the same float sums
-            return (
-                frozenset(pending),
-                tuple(sorted((f, tuple(g.ranks())) for f, _i, _s, g in running)),
-                now,
-                barrier,
+        Arrived requests first (priority-aware LPT order, the same view
+        every other policy serves from), then not-yet-arrived requests
+        earliest arrival first — the rolling head of the stream.
+        """
+        head = ctx.class_order()
+        if len(head) < self.window:
+            chosen = {i for i, _ in head}
+            future = sorted(
+                (it for it in ctx.pending if it[0] not in chosen),
+                key=lambda it: (it[1].arrival, it[0]),
             )
+            head = head + future
+        return head[: self.window]
 
-        def dfs(
-            pending: frozenset[int],
-            running: list[tuple[float, int, int, ProcessorGrid]],
-            now: float,
-            plan: list[tuple[int, SchedulableRequest, int, float, ProcessorGrid]],
-            max_finish: float,
-            barrier: int,
-        ) -> None:
-            self.nodes_explored += 1
-            if not pending:
-                if max_finish < best["makespan"]:
-                    best["makespan"] = max_finish
-                    best["plan"] = list(plan)
-                return
-            # prune: area bound + release-plus-execution bounds
-            lb = max_finish
-            owed = sum((f - now) * g.size for f, _i, _s, g in running)
-            owed += sum(areas[i] for i in pending)
-            lb = max(lb, now + owed / capacity)
-            for i in pending:
-                lb = max(lb, max(now, arrival[i]) + min_dur[i])
-            if lb >= best["makespan"] * (1.0 - 1e-12):
-                return
-            key = state_key(pending, running, now, barrier)
-            prior = seen.get(key)
-            if prior is not None and prior <= max_finish:
-                return
-            seen[key] = max_finish
-            # Placement branches, best-scored first (greedy-first descent,
-            # so the incumbent starts near the heuristics' makespan).
-            # ``barrier`` canonicalizes same-timestamp placements to
-            # increasing request index: committing {A, B} at one decision
-            # time in either order books the same sizes for the same
-            # durations (staging volumes are congruent across same-size
-            # blocks), so only one order needs exploring.
-            options: list[tuple[float, int, int, float]] = []
-            for i in pending:
-                if arrival[i] > now or i <= barrier:
-                    continue
-                rest = sum(areas[j] for j in pending if j != i)
-                priced: list[tuple[int, ProcessorGrid, float]] = []
-                for size in sizes[i]:
-                    grid = pool.preview(size)
-                    if grid is None:
-                        continue
-                    priced.append((size, grid, duration_of(i, size, grid)))
-                priced.sort()
-                for pos, (size, grid, duration) in enumerate(priced):
-                    # dominated size: a smaller nested block runs this
-                    # request at most as long while leaving the pool
-                    # strictly freer — the bigger placement can always be
-                    # exchanged for the smaller one without losing makespan
-                    ranks = set(grid.ranks())
-                    if any(
-                        d2 <= duration and set(g2.ranks()) <= ranks
-                        for _s2, g2, d2 in priced[:pos]
-                    ):
-                        continue
-                    finish = now + duration
-                    score = max(finish, now + (rest + size * duration) / capacity)
-                    options.append((score, i, size, finish))
-            options.sort(key=lambda o: (o[0], o[2], o[1]))
-            for _score, i, size, finish in options:
-                grid = pool.allocate(size)
-                assert grid is not None
-                entry = (i, req_by[i], size, now, grid)
-                dfs(
-                    pending - {i},
-                    running + [(finish, i, size, grid)],
-                    now,
-                    plan + [entry],
-                    max(max_finish, finish),
-                    i,
-                )
-                pool.release(grid)
-            # wait branch: advance to the next event
-            next_finish = min((f for f, *_ in running), default=None)
-            next_arrival = min(
-                (arrival[i] for i in pending if arrival[i] > now), default=None
+    def choose(self, ctx: PolicyContext) -> Decision | None:
+        pending = list(ctx.pending)
+        if not pending:
+            return None
+        window = self._window_of(ctx)
+        members = frozenset(i for i, _ in window)
+        remaining = frozenset(e[0] for e in self._plan[self._cursor :])
+        if not self._planned or not members <= remaining:
+            # membership changed (or first decision point): re-plan the
+            # window from the live allocator state
+            self._plan, self._plan_span, nodes = _search_window(
+                ctx, window, list(ctx.running), node_budget=self.node_budget
             )
-            candidates = [t for t in (next_finish, next_arrival) if t is not None]
-            if not candidates:
-                require(
-                    barrier >= 0 or bool(options),
-                    ParameterError,
-                    "a pending request fits no allocatable subgrid size",
-                )
-                return
-            nxt = min(candidates)
-            released = [r for r in running if r[0] <= nxt]
-            for _f, _i, _s, g in released:
-                pool.release(g)
-            dfs(
-                pending,
-                [r for r in running if r[0] > nxt],
-                nxt,
-                plan,
-                max_finish,
-                -1,
-            )
-            for _f, _i, _s, g in reversed(released):
-                pool.lease_exact(g)
-
-        dfs(frozenset(i for i, _ in items), [], ctx.now, [], 0.0, -1)
+            self._cursor = 0
+            self._planned = True
+            self.replans += 1
+            self.nodes_explored += nodes
+        index, req, size, start, grid = self._plan[self._cursor]
+        tol = _plan_tolerance(start, self._plan_span)
+        if ctx.now < start - tol or ctx.now < req.arrival:
+            # the plan idles until its next start (the arrival check keeps
+            # the tolerance floor from committing before the head's own
+            # arrival): let arrived requests beyond the window backfill
+            # against that reservation
+            return self._backfill_beyond(ctx, members, start)
         require(
-            best["plan"] is not None,
+            ctx.now <= start + tol,
             ParameterError,
-            "optimal search found no feasible schedule",
+            "horizon plan diverged from the event loop (planned start "
+            f"{start!r}, loop reached {ctx.now!r})",
         )
-        return best["plan"]
+        cand = ctx.price(req, size)
+        if cand is None or cand.grid != grid:
+            # more releases land at this same timestamp; wait for them
+            return None
+        self._cursor += 1
+        return Decision(index, req, cand)
+
+    def _backfill_beyond(
+        self, ctx: PolicyContext, members: frozenset[int], reserve: float
+    ) -> Decision | None:
+        """Conservative backfill of non-window arrivals before ``reserve``.
+
+        Identical to :class:`BackfillPolicy`'s guarded scoring with the
+        plan's next start as the reservation: a placement is admitted
+        only if every way of running it finishes by ``reserve``, so its
+        block coalesces back before the plan touches the pool again and
+        the planned grids still preview exactly as modeled.
+        """
+        for jndex, jreq in lpt_order(ctx):
+            if jndex in members:
+                continue
+            cand = ctx.best_candidate(jreq, ctx.rest_area(jndex), deadline=reserve)
+            if cand is not None:
+                return Decision(jndex, jreq, cand)
+        return None
 
 
 #: policy registry: the names ``--policy`` and ``Cluster(policy=...)`` accept
@@ -710,6 +929,7 @@ POLICIES: dict[str, type[PackingPolicy]] = {
     LPTPolicy.name: LPTPolicy,
     BackfillPolicy.name: BackfillPolicy,
     OptimalPolicy.name: OptimalPolicy,
+    HorizonPolicy.name: HorizonPolicy,
 }
 
 

@@ -178,8 +178,8 @@ class Scheduler:
 
     ``policy`` selects the packing decision rule — a
     :class:`~repro.sched.policies.PackingPolicy` instance, a registry name
-    (``"lpt"``, ``"backfill"``, ``"optimal"``), or ``None`` for the
-    default greedy LPT.  ``cache`` (an
+    (``"lpt"``, ``"backfill"``, ``"optimal"``, ``"horizon"``), or ``None``
+    for the default greedy LPT.  ``cache`` (an
     :class:`~repro.api.opcache.OperandCache`, optional) makes staging
     prices cache-aware; without one the scheduler prices every placement
     at the full migration cost.  Policies that pre-plan their timeline

@@ -61,6 +61,40 @@ class TestServe:
         assert "serial full-grid" in out
         assert "pool occupancy" in out
 
+    def test_serve_optimal_long_queue_exits_2_with_one_line(self, capsys):
+        """Regression: this used to die with a raw ParameterError
+        traceback; now it is a clean usage error on stderr."""
+        code = main(
+            [
+                "serve", "--policy", "optimal", "--requests", "12", "-p", "16",
+                "--n-min", "32", "--n-max", "32",
+                "--k-min", "8", "--k-max", "8",
+                "--no-verify",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        err_lines = [ln for ln in captured.err.splitlines() if ln]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error: ")
+        assert "max_requests" in err_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_serve_horizon_serves_long_queue(self, capsys):
+        """The fix proper: --policy horizon packs the queue optimal refuses."""
+        code = main(
+            [
+                "serve", "--policy", "horizon", "--requests", "10", "-p", "16",
+                "--n-min", "32", "--n-max", "64",
+                "--k-min", "8", "--k-max", "8",
+                "--no-verify",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "requests          : 10" in out
+        assert "modeled makespan" in out
+
     def test_serve_poisson_no_resident(self, capsys):
         assert (
             main(

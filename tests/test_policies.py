@@ -14,6 +14,12 @@
 * **Optimal ground truth** — the branch-and-bound search never loses to
   either heuristic, matches hand-checkable optima, and refuses queues it
   cannot search exhaustively.
+* **Rolling horizon** — ``HorizonPolicy`` is bit-identical to
+  ``OptimalPolicy`` whenever the whole queue fits its window
+  (property-tested), serves queues the optimum refuses, never loses to
+  either heuristic on the pinned mixed stream or the recorded gap
+  streams, and tolerates re-plans at t = 0 (the tolerance-floor
+  regression).
 * **Accounting** — executing any policy's schedule charges the machine
   exactly once per request region: the global volume total equals the
   per-rank, per-region sums from ``machine.region_cost``.
@@ -32,18 +38,20 @@ from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import ParameterError
 from repro.sched import (
     BackfillPolicy,
+    HorizonPolicy,
     LPTPolicy,
     OptimalPolicy,
     Scheduler,
     SubgridAllocator,
     make_policy,
 )
+from repro.sched.policies import PolicyContext, _plan_tolerance
 from repro.trsm.prepared import PreparedTrsm
 from repro.util.randmat import random_lower_triangular
 
 UNIT = CostParams(alpha=1.0, beta=1.0, gamma=1.0, name="unit")
 
-POLICY_NAMES = ("lpt", "backfill", "optimal")
+POLICY_NAMES = ("lpt", "backfill", "optimal", "horizon")
 
 
 def make_pool(p: int) -> SubgridAllocator:
@@ -350,6 +358,141 @@ class TestOptimalGroundTruth:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ParameterError):
             make_policy("round_robin")
+
+
+class TestHorizonPolicy:
+    @given(fake_streams(max_count=4, max_menu=2))
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identical_to_optimal_when_queue_fits(self, reqs):
+        """Queue <= window: the horizon search IS the exhaustive search —
+        one solve, no re-plans, the same plan followed the same way."""
+        opt = Scheduler(make_pool(16), UNIT, policy="optimal").schedule(reqs)
+        hor = Scheduler(
+            make_pool(16), UNIT, policy=HorizonPolicy(window=8)
+        ).schedule(reqs)
+        assert flatten(hor) == flatten(opt)
+
+    @given(fake_streams(max_count=8))
+    @settings(max_examples=20, deadline=None)
+    def test_windowed_schedules_valid(self, reqs):
+        """A window smaller than the queue forces re-plans and the
+        beyond-window backfill path; the schedule must stay valid."""
+        pool = make_pool(16)
+        schedule = Scheduler(
+            pool, UNIT, policy=HorizonPolicy(window=3)
+        ).schedule(reqs)
+        assert_valid_schedule(schedule, reqs, pool)
+
+    def test_serves_queues_the_optimum_refuses(self):
+        reqs = golden_stream(2, 12, 8.0)
+        with pytest.raises(ParameterError):
+            Scheduler(make_pool(16), UNIT, policy="optimal").schedule(reqs)
+        pool = make_pool(16)
+        policy = HorizonPolicy()
+        hor = Scheduler(pool, UNIT, policy=policy).schedule(reqs)
+        assert_valid_schedule(hor, golden_stream(2, 12, 8.0), pool)
+        assert policy.replans >= 2, "a 12-request queue must roll the window"
+        # and the windowed search still beats (or ties) the greedy baseline
+        lpt = Scheduler(make_pool(16), UNIT, policy="lpt").schedule(
+            golden_stream(2, 12, 8.0)
+        )
+        assert hor.makespan <= lpt.makespan * (1 + 1e-9)
+
+    def test_mixed_pinned_stream_never_loses(self):
+        """The bench gate scenario: horizon <= min(lpt, backfill)."""
+        lpt = replay_mixed(p=16, policy="lpt", smalls=8)
+        bf = replay_mixed(p=16, policy="backfill", smalls=8)
+        hor = replay_mixed(p=16, policy="horizon", smalls=8)
+        assert hor.policy == "horizon"
+        floor = min(lpt.modeled_makespan, bf.modeled_makespan)
+        assert hor.modeled_makespan <= floor * (1 + 1e-9)
+
+    @pytest.mark.parametrize("seed,rate", [(0, 0.0), (1, 0.0), (2, 0.0), (0, 3e4)])
+    def test_recorded_gap_streams_never_lose(self, seed, rate):
+        """The gap-report streams (scheduling-only, so the comparison is
+        cheap): horizon <= min(lpt, backfill) on each."""
+        from repro.api.serve import schedule_stream
+
+        def stream():
+            return poisson_stream(
+                count=6, rate=rate, n_range=(64, 128), k_range=(8, 32), seed=seed
+            )
+
+        spans = {
+            pol: schedule_stream(stream(), p=16, policy=pol, cache=False).makespan
+            for pol in ("lpt", "backfill", "horizon")
+        }
+        assert spans["horizon"] <= min(spans["lpt"], spans["backfill"]) * (1 + 1e-9)
+
+    def test_replan_tolerance_floor_at_t0(self):
+        """Regression: a planned start of 0.0 used to collapse the
+        plan-following tolerance to exact float equality, so a decision
+        point at a sub-resolution positive clock tripped the
+        "plan diverged" guard.  The floor comes from the plan's own
+        makespan, so a t=0 consultation with negligible drift follows
+        the plan instead of raising."""
+        reqs = [FakeRequest({8: 1.0}), FakeRequest({8: 2.0})]
+
+        def pricer(req, grid):
+            return Cost.zero(), Cost.zero(), ()
+
+        pool = make_pool(16)
+        policy = OptimalPolicy()
+        policy.reset(reqs)
+        pending = list(enumerate(reqs))
+        first = policy.choose(PolicyContext(0.0, pool, UNIT, pending, [], pricer))
+        assert first is not None and first.index == 0
+        grid = pool.allocate(first.candidate.size)
+        assert grid == first.candidate.grid
+        # the event loop re-consults at "the same" timestamp; give the
+        # clock a drift far below the event-timeline resolution (the
+        # plan's makespan is 2.0, so the tolerance floor is 2e-9)
+        drift = 1e-12
+        assert drift <= _plan_tolerance(0.0, 2.0)
+        second = policy.choose(
+            PolicyContext(
+                drift,
+                pool,
+                UNIT,
+                [pending[1]],
+                [(first.candidate.finish, 0, first.candidate.size, grid)],
+                pricer,
+            )
+        )
+        assert second is not None and second.index == 1
+
+    def test_window_and_budget_validated(self):
+        with pytest.raises(ParameterError):
+            HorizonPolicy(window=0)
+        with pytest.raises(ParameterError):
+            HorizonPolicy(node_budget=0)
+        assert HorizonPolicy(node_budget=None).node_budget is None
+
+    def test_cluster_drops_cache_for_horizon(self):
+        cluster = Cluster(16, policy="horizon")
+        assert cluster.opcache is None
+        assert make_policy("horizon").requires_uncached
+
+
+class TestGapReportRendering:
+    def test_null_gaps_render_as_em_dash(self):
+        from repro.analysis.serve import format_gap_pct, policy_gap_report
+
+        assert format_gap_pct(None) == "—"
+        assert format_gap_pct(0.0) == "+0.00"
+        assert format_gap_pct(12.5) == "+12.50"
+        assert format_gap_pct(-0.25) == "-0.25"
+        # a queue past optimal_max: the optimum is skipped, every gap is
+        # null, and the table renders — cells (never "None%"/a TypeError)
+        stream = poisson_stream(
+            count=2, rate=0.0, n_range=(32, 32), k_range=(8, 8), seed=0
+        )
+        report = policy_gap_report(
+            stream, p=16, policies=("lpt", "optimal"), optimal_max=1
+        )
+        assert "n/a (queue too long)" in report
+        assert "—" in report
+        assert "None" not in report
 
 
 class TestClusterPolicyIntegration:
