@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast bench-smoke bench-policies bench-throughput \
-	bench-daemon lint replint lint-all selfcheck solve serve clean
+	bench-daemon bench-backend lint replint lint-all selfcheck solve \
+	serve clean
 
 ## Run the tier-1 test suite (what CI gates on).
 test:
@@ -45,6 +46,13 @@ bench-throughput:
 ## (CI uploads it).
 bench-daemon:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_daemon.py
+
+## Backend parity + modeled-vs-measured calibration: one replay through
+## SimBackend and the loopback MPIBackend, bit-identical solutions
+## asserted, the per-phase error recorded (not gated) to
+## benchmarks/results/BENCH_backend.json (CI uploads it).
+bench-backend:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_backend.py
 
 ## Ruff lint + formatting check (CI runs both; requires ruff on PATH).
 lint:

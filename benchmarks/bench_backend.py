@@ -1,0 +1,121 @@
+"""Backend parity and the modeled-vs-measured gap, as a machine artifact.
+
+The backend seam's whole promise is twofold: ``SimBackend`` is the old
+simulator bit for bit, and ``MPIBackend`` executes the *same* routing
+plans over a communicator while measuring wall-clock seconds.  This
+bench drives one serve replay through both (the MPI path over the
+in-process loopback communicator, so it runs everywhere) and records the
+per-phase modeled-vs-measured relative errors to
+``benchmarks/results/BENCH_backend.json``.
+
+The gap itself is *recorded, not gated* — loopback wall-clock numbers on
+a shared CI runner are weather, and the point of the artifact is to
+track the model's calibration over time.  What is asserted is the shape:
+sim measurements are self-consistent (relative error exactly zero),
+loopback measurements are real (positive seconds), and both backends
+produce bit-identical solutions.
+
+Run via ``make bench-backend``, or under ``BENCH_SMOKE=1`` for the tiny
+sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.analysis import validation_report
+from repro.api.serve import poisson_stream, replay
+from repro.backend import SimBackend
+from repro.backend.mpi import LoopbackComm, MPIBackend
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+
+P = 16
+COUNT = 4 if SMOKE else 12
+RATE = 2e3
+
+
+def _stream():
+    return poisson_stream(
+        COUNT, rate=RATE, n_range=(32, 96), k_range=(8, 32), seed=3
+    )
+
+
+def _hashes(outcome) -> list[str]:
+    return [
+        hashlib.sha256(
+            np.ascontiguousarray(r.value, dtype=np.float64).tobytes()
+        ).hexdigest()[:16]
+        for r in outcome.records
+    ]
+
+
+def _rows(report) -> dict:
+    return {
+        row.group: {
+            "plans": row.plans,
+            "words": row.words,
+            "modeled_seconds": row.modeled_seconds,
+            "measured_seconds": row.measured_seconds,
+            "relative_error": row.relative_error,
+        }
+        for row in report.by_phase
+    }
+
+
+def test_backend_parity_and_validation_gap(emit, results_dir, benchmark):
+    """Same plans, same bits; the sim/loopback gap lands in the artifact."""
+
+    def run(backend):
+        outcome = replay(_stream(), p=P, backend=backend)
+        return outcome, validation_report(backend, outcome)
+
+    sim_backend = SimBackend()
+    mpi_backend = MPIBackend(comm=LoopbackComm())
+    sim_outcome, sim_report = benchmark.pedantic(
+        run, args=(sim_backend,), rounds=1, iterations=1
+    )
+    mpi_outcome, mpi_report = run(mpi_backend)
+
+    # parity: the same routing plans produce the same solutions, bit for bit
+    assert _hashes(sim_outcome) == _hashes(mpi_outcome)
+
+    # sim is self-consistent by construction; loopback measures real time
+    sim_total = sim_report.total()
+    mpi_total = mpi_report.total()
+    assert sim_total.relative_error == 0.0
+    assert mpi_total.measured_seconds > 0.0
+    assert mpi_total.plans == sim_total.plans
+
+    payload = {
+        "smoke": SMOKE,
+        "p": P,
+        "count": COUNT,
+        "rate": RATE,
+        "sim": {
+            "world": sim_backend.world_size,
+            "total_relative_error": sim_total.relative_error,
+            "by_phase": _rows(sim_report),
+        },
+        "mpi_loopback": {
+            "world": mpi_backend.world_size,
+            "total_modeled_seconds": mpi_total.modeled_seconds,
+            "total_measured_seconds": mpi_total.measured_seconds,
+            "total_relative_error": mpi_total.relative_error,
+            "by_phase": _rows(mpi_report),
+        },
+    }
+    path = pathlib.Path(results_dir) / "BENCH_backend.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    emit(
+        "backend_validation",
+        f"backend parity: {COUNT} requests on p={P}, "
+        f"{sim_total.plans} plans routed\n"
+        + mpi_report.render(),
+    )

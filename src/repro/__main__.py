@@ -96,6 +96,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
             )
             return 0
+        from repro.backend import make_backend
+
+        backend = make_backend(args.backend)
         outcome = replay(
             requests_spec,
             p=args.p,
@@ -103,9 +106,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             resident=not args.no_resident,
             verify=not args.no_verify,
             policy=args.policy,
+            backend=backend,
         )
         last_outcome.append(outcome)
         print(serve_report(outcome))
+        if args.validate:
+            from repro.analysis import validation_report
+
+            print()
+            print(validation_report(backend, outcome).render())
         return 0
 
     if not args.profile:
@@ -287,6 +296,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="lpt",
         help="packing policy (optimal is exhaustive: queues of <= 8 only; "
         "horizon runs the same search on a sliding window at any length)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=["sim", "mpi"],
+        default="sim",
+        help="execution backend: 'sim' simulated clocks (default); 'mpi' "
+        "executes the routing plans with real Alltoallv transport and "
+        "wall-clock timing (requires mpi4py; values are identical)",
+    )
+    p_serve.add_argument(
+        "--validate",
+        action="store_true",
+        help="print the modeled-vs-measured validation report after the run",
     )
     p_serve.add_argument(
         "--gap",

@@ -8,6 +8,8 @@
   labels;
 * :mod:`repro.analysis.serve` — throughput/occupancy reports for Cluster
   serve runs (request placements, makespan vs the serial baseline);
+* :mod:`repro.analysis.validation` — the backend's modeled-vs-measured
+  report (per-phase/per-label/per-regime predicted vs observed seconds);
 * :mod:`repro.analysis.report` — plain-text / CSV rendering.
 """
 
@@ -23,6 +25,11 @@ from repro.analysis.tables import (
     mm_line_table,
 )
 from repro.analysis.report import format_table
+from repro.analysis.validation import (
+    ValidationReport,
+    ValidationRow,
+    validation_report,
+)
 from repro.analysis.serve import (
     format_gap_pct,
     occupancy_table,
@@ -48,4 +55,7 @@ __all__ = [
     "iterative_parts_table",
     "mm_line_table",
     "format_table",
+    "ValidationReport",
+    "ValidationRow",
+    "validation_report",
 ]

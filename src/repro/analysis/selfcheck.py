@@ -65,8 +65,8 @@ def run_selfcheck(quick: bool = False) -> SelfCheckReport:
         random_spd,
         trsm,
     )
+    from repro.backend import SimBackend
     from repro.factor import cholesky_factor, lu_factor_distributed
-    from repro.machine import Machine
 
     report = SelfCheckReport()
     sizes = (32, 8, 4) if quick else (96, 24, 16)
@@ -103,7 +103,7 @@ def run_selfcheck(quick: bool = False) -> SelfCheckReport:
 
     def chol():
         A = random_spd(n, seed=5)
-        machine = Machine(4)
+        machine = SimBackend().make_machine(4)
         grid = machine.grid(2, 2)
         Lc = cholesky_factor(machine, grid, A, block=max(n // 4, 1))
         G = Lc.to_global()
@@ -115,7 +115,7 @@ def run_selfcheck(quick: bool = False) -> SelfCheckReport:
     def lu():
         rng = np.random.default_rng(6)
         A = rng.standard_normal((n, n))
-        machine = Machine(4)
+        machine = SimBackend().make_machine(4)
         grid = machine.grid(2, 2)
         L, U, perm = lu_factor_distributed(machine, grid, A, block=max(n // 4, 1))
         assert np.allclose(

@@ -1,0 +1,176 @@
+"""Modeled-vs-measured validation: the backend's measurement log, reported.
+
+The point of the backend redesign: every executed routing plan and
+kernel carries both the model's predicted seconds and what execution
+observed (:class:`~repro.backend.base.PlanMeasurement`).  This module
+aggregates those records into a report:
+
+* **per phase** — predicted vs measured seconds for each machine phase
+  the plans executed under (staging, inversion, solve, update, ...),
+  with the signed relative error;
+* **per label** — the same grouped by transition label (``stage``,
+  ``rectriinv.route_down``, ...), the finer-grained attribution;
+* **per regime** — predicted vs measured makespans of a
+  :class:`~repro.api.cluster.ClusterOutcome`'s requests, grouped by the
+  Section VIII regime (:func:`~repro.tuning.regimes.classify_trsm`)
+  each solve shape falls in.
+
+Under :class:`~repro.backend.sim.SimBackend` the measured side *is* the
+model (relative error identically zero) — the report is then a
+self-consistency check, and its shape in CI is exactly its shape on
+real hardware.  Under :class:`~repro.backend.mpi.MPIBackend` the
+measured side is wall-clock Alltoallv time and the error is a genuine
+model-vs-hardware residual per regime (the paper's Section VII
+comparison, inverted: the model predicts, the machine answers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.backend.base import Backend, PlanMeasurement
+from repro.tuning.regimes import classify_trsm
+
+
+@dataclass(slots=True, frozen=True)
+class ValidationRow:
+    """One aggregated modeled-vs-measured line."""
+
+    group: str
+    plans: int
+    words: int
+    modeled_seconds: float
+    measured_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        """Signed (measured - modeled) / modeled; 0 when nothing modeled."""
+        if self.modeled_seconds == 0.0:
+            return 0.0
+        return (self.measured_seconds - self.modeled_seconds) / self.modeled_seconds
+
+
+@dataclass(slots=True, frozen=True)
+class ValidationReport:
+    """A backend's measurement log, aggregated for rendering."""
+
+    backend: str
+    is_real: bool
+    world_size: int
+    by_phase: list[ValidationRow]
+    by_label: list[ValidationRow]
+    by_regime: list[ValidationRow]
+
+    def total(self) -> ValidationRow:
+        """The all-plans aggregate (phase rows partition the log)."""
+        return ValidationRow(
+            group="total",
+            plans=sum(r.plans for r in self.by_phase),
+            words=sum(r.words for r in self.by_phase),
+            modeled_seconds=sum(r.modeled_seconds for r in self.by_phase),
+            measured_seconds=sum(r.measured_seconds for r in self.by_phase),
+        )
+
+    def render(self) -> str:
+        """The plain-text report (the ``--validate`` CLI output)."""
+        kind = "wall-clock" if self.is_real else "self-consistent"
+        sections = [
+            _render_rows(
+                f"modeled vs measured [{self.backend} backend, "
+                f"world={self.world_size}, {kind}]",
+                "phase",
+                self.by_phase + [self.total()],
+            )
+        ]
+        if self.by_label:
+            sections.append(_render_rows(None, "label", self.by_label))
+        if self.by_regime:
+            sections.append(_render_rows(None, "regime", self.by_regime))
+        return "\n\n".join(sections)
+
+
+def _render_rows(
+    title: str | None, key: str, rows: list[ValidationRow]
+) -> str:
+    return format_table(
+        [key, "plans", "words", "modeled s", "measured s", "rel err"],
+        [
+            [
+                r.group,
+                r.plans,
+                r.words,
+                r.modeled_seconds,
+                r.measured_seconds,
+                r.relative_error,
+            ]
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def _aggregate(
+    records: list[PlanMeasurement], key: "str"
+) -> list[ValidationRow]:
+    groups: dict[str, list[PlanMeasurement]] = {}
+    for rec in records:
+        name = getattr(rec, key) or "(none)"
+        groups.setdefault(name, []).append(rec)
+    return [
+        ValidationRow(
+            group=name,
+            plans=len(recs),
+            words=sum(r.words for r in recs),
+            modeled_seconds=sum(r.modeled_seconds for r in recs),
+            measured_seconds=sum(r.measured_seconds for r in recs),
+        )
+        for name, recs in sorted(groups.items())
+    ]
+
+
+def _regime_rows(outcome) -> list[ValidationRow]:
+    """Per-regime predicted-vs-measured windows of an outcome's requests.
+
+    ``modeled`` is the scheduler's per-request execution window,
+    ``measured`` the machine's (wall-clock-backed under a real backend,
+    simulated otherwise) — the regime split localizes where the model
+    drifts, which Section VIII predicts differs by grid dimensionality.
+    """
+    groups: dict[str, list] = {}
+    for rec in outcome.records:
+        shape = getattr(rec.value, "shape", None)
+        if shape is not None and len(shape) == 2 and min(shape) >= 1:
+            # the solve result is n x k; its shape names the regime
+            regime = classify_trsm(int(shape[0]), int(shape[1]), outcome.p).value
+        else:
+            regime = rec.kind
+        groups.setdefault(regime, []).append(rec)
+    return [
+        ValidationRow(
+            group=name,
+            plans=len(recs),
+            words=int(sum(r.modeled.W for r in recs)),
+            modeled_seconds=sum(r.modeled_finish - r.modeled_start for r in recs),
+            measured_seconds=sum(r.measured_finish - r.measured_start for r in recs),
+        )
+        for name, recs in sorted(groups.items())
+    ]
+
+
+def validation_report(backend: Backend, outcome=None) -> ValidationReport:
+    """Build the modeled-vs-measured report from a backend's log.
+
+    ``outcome`` (a :class:`~repro.api.cluster.ClusterOutcome`) adds the
+    per-regime section; without it the report covers the executed plans
+    only.
+    """
+    records = backend.measurements()
+    return ValidationReport(
+        backend=backend.name,
+        is_real=backend.is_real,
+        world_size=backend.world_size,
+        by_phase=_aggregate(records, "phase"),
+        by_label=_aggregate(records, "label"),
+        by_regime=[] if outcome is None else _regime_rows(outcome),
+    )

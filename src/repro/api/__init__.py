@@ -7,6 +7,13 @@ a pool of disjoint subgrids:
 
 * :class:`Cluster` — machine + subgrid pool + request queue
   (``host``/``submit``/``run``);
+* :class:`ClusterConfig` — every Cluster knob as one typed object
+  (``cache``, ``policy``, ``pricing_cache``, ``backend``,
+  ``plan_cache_size``, ...); the individual keywords remain as
+  deprecation shims;
+* :class:`Backend` / :func:`make_backend` — the execution backend
+  (:mod:`repro.backend`): ``"sim"`` simulated clocks (default),
+  ``"mpi"`` real Alltoallv transport with wall-clock measurement;
 * :class:`TrsmRequest` — solve ``L X = B`` (It-Inv-TRSM or the recursive
   baseline);
 * :class:`MMRequest` — the Section III matrix multiplication;
@@ -27,7 +34,7 @@ The legacy one-call entry points (``repro.trsm``,
 single-request Cluster, kept one release for compatibility.
 """
 
-from repro.api.cluster import Cluster, ClusterOutcome, RequestRecord
+from repro.api.cluster import Cluster, ClusterConfig, ClusterOutcome, RequestRecord
 from repro.api.opcache import CachePlan, OperandCache, cache_key
 from repro.api.requests import (
     Execution,
@@ -37,18 +44,23 @@ from repro.api.requests import (
     Request,
     TrsmRequest,
 )
+from repro.backend import Backend, SimBackend, make_backend
 
 __all__ = [
-    "Cluster",
-    "ClusterOutcome",
-    "RequestRecord",
-    "OperandCache",
+    "Backend",
     "CachePlan",
-    "cache_key",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterOutcome",
     "Execution",
-    "Request",
-    "TrsmRequest",
-    "MMRequest",
     "InvRequest",
+    "MMRequest",
+    "OperandCache",
     "PreparedSolveRequest",
+    "Request",
+    "RequestRecord",
+    "SimBackend",
+    "TrsmRequest",
+    "cache_key",
+    "make_backend",
 ]

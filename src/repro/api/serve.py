@@ -105,6 +105,7 @@ def replay(
     cache: bool = True,
     shared_operands: bool = False,
     pricing_cache: bool = True,
+    backend=None,
 ) -> ClusterOutcome:
     """Submit a stream to a fresh Cluster and run it to completion.
 
@@ -124,9 +125,19 @@ def replay(
     the operand cache, the routing-plan cache and the pricing memo all
     amortize across the stream.  ``pricing_cache=False`` re-derives every
     scheduler price (the pre-memo behavior, for parity benches).
+
+    ``backend`` selects the execution backend (``None``/``"sim"``/``"mpi"``
+    or a :class:`~repro.backend.Backend` instance; see :mod:`repro.backend`)
+    — values are bit-identical across backends, a real backend adds
+    measured wall-clock transport alongside the model.
     """
     cluster = Cluster(
-        p, params=params, cache=cache, policy=policy, pricing_cache=pricing_cache
+        p,
+        params=params,
+        cache=cache,
+        policy=policy,
+        pricing_cache=pricing_cache,
+        backend=backend,
     )
     shared: dict[tuple[int, int], tuple] = {}
     for s in stream:
@@ -221,6 +232,7 @@ def replay_mixed(
     big_arrival: float = 5e-6,
     verify: bool = False,
     seed: int = 0,
+    backend=None,
 ) -> ClusterOutcome:
     """The mixed small/large serving scenario backfilling exists for.
 
@@ -238,7 +250,7 @@ def replay_mixed(
     on.
     """
     require(smalls >= 5, ParameterError, "the mixed stream needs >= 5 smalls")
-    cluster = Cluster(p, params=params, cache=cache, policy=policy)
+    cluster = Cluster(p, params=params, cache=cache, policy=policy, backend=backend)
     for i in range(smalls):
         arrival = 0.0 if i < 4 else (i - 3) * stagger
         L = random_lower_triangular(n_small, seed=seed + 100 + i)
@@ -278,6 +290,7 @@ def replay_prepared(
     size: int | None = None,
     verify: bool = True,
     policy=None,
+    backend=None,
 ) -> ClusterOutcome:
     """A stream of solves against one hosted prepared factor.
 
@@ -300,7 +313,7 @@ def replay_prepared(
         if rate > 0.0
         else np.zeros(count)
     )
-    cluster = Cluster(p, params=params, cache=cache, policy=policy)
+    cluster = Cluster(p, params=params, cache=cache, policy=policy, backend=backend)
     Lh = cluster.host(prepared.L)
     Lth = cluster.host(prepared.Ltilde)
     for i in range(count):

@@ -63,7 +63,8 @@ def redistribute(
         # -> cyclic) still charges nothing but falls through, so the
         # result carries the layout the caller asked for.
         return D
-    return DistMatrix(D.machine, grid, layout, D.shape, plan.apply(D.blocks))
+    blocks = D.machine.backend.execute_plan(plan, D.blocks, label=label)
+    return DistMatrix(D.machine, grid, layout, D.shape, blocks)
 
 
 def change_layout(D: DistMatrix, layout: Layout, label: str = "change_layout") -> DistMatrix:
@@ -140,7 +141,8 @@ def transpose_matrix(D: DistMatrix, label: str = "transpose") -> DistMatrix:
         (n, m),
     )
     plan.charge(machine, label)
-    return DistMatrix(machine, grid, result_layout, (n, m), plan.apply(D.blocks))
+    blocks = machine.backend.execute_plan(plan, D.blocks, label=label)
+    return DistMatrix(machine, grid, result_layout, (n, m), blocks)
 
 
 # ---------------------------------------------------------------------------
@@ -175,7 +177,8 @@ def extract_submatrix(
         End.window_of(D, r0, c0), End(D.grid, D.layout, shape), shape
     )
     plan.charge(D.machine, label)
-    return DistMatrix(D.machine, D.grid, D.layout, shape, plan.apply(D.blocks))
+    blocks = D.machine.backend.execute_plan(plan, D.blocks, label=label)
+    return DistMatrix(D.machine, D.grid, D.layout, shape, blocks)
 
 
 def embed_submatrix(
@@ -224,7 +227,8 @@ def route_submatrix(
         shape,
     )
     chain.charge(D.machine, label)
-    return DistMatrix(D.machine, grid, layout, shape, chain.apply(D.blocks))
+    blocks = D.machine.backend.execute_plan(chain.fused, D.blocks, label=label)
+    return DistMatrix(D.machine, grid, layout, shape, blocks)
 
 
 def route_embed(
@@ -254,7 +258,9 @@ def route_embed(
         [End.of(sub), End.window_of(target, r0, c0)], (sm, sn)
     )
     chain.charge(target.machine, label)
-    chain.apply(sub.blocks, out=target.blocks)
+    target.machine.backend.execute_plan(
+        chain.fused, sub.blocks, out=target.blocks, label=label
+    )
     target.mutated()
     return target
 
@@ -297,4 +303,5 @@ def stage_matrix(
         plan.charge_pointwise(D.machine, label=label)
     else:
         plan.charge(D.machine, label=label)
-    return DistMatrix(D.machine, grid, layout, D.shape, plan.apply(D.blocks))
+    blocks = D.machine.backend.execute_plan(plan, D.blocks, label=label)
+    return DistMatrix(D.machine, grid, layout, D.shape, blocks)

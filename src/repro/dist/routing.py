@@ -55,6 +55,7 @@ suite):
 from __future__ import annotations
 
 import contextlib
+import os
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
@@ -62,7 +63,7 @@ import numpy as np
 
 from repro.dist.layout import Layout, expected_local_words
 from repro.machine.cost import Cost
-from repro.machine.validate import ShapeError, require
+from repro.machine.validate import ParameterError, ShapeError, require
 
 if TYPE_CHECKING:
     from repro.dist.distmatrix import DistMatrix
@@ -84,9 +85,29 @@ INT32_LIMIT = 2**31 - 1
 #: vectorization loops in repro.dist.routing_reference (parity benches)
 _REFERENCE_MODE = False
 
+def _initial_plan_cache_capacity() -> int:
+    """The LRU capacity :func:`routing_plan` starts with.
+
+    ``REPRO_PLAN_CACHE_SIZE`` overrides the default (1024) for the whole
+    process; a non-integer or negative value is ignored rather than
+    failing at import time.  :func:`set_plan_cache_capacity` (and
+    ``ClusterConfig.plan_cache_size`` through it) changes the capacity at
+    runtime.
+    """
+    raw = os.environ.get("REPRO_PLAN_CACHE_SIZE")
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            return 1024
+        if value >= 0:
+            return value
+    return 1024
+
+
 #: (src fingerprint, dst fingerprint, shape) -> RoutingPlan, LRU order
 _PLAN_CACHE: "OrderedDict[tuple, RoutingPlan]" = OrderedDict()
-_PLAN_CACHE_MAX = 1024
+_PLAN_CACHE_MAX = _initial_plan_cache_capacity()
 _PLAN_CACHE_ENABLED = True
 _PLAN_CACHE_HITS = 0
 _PLAN_CACHE_MISSES = 0
@@ -527,6 +548,19 @@ class RoutingPlan:
             )
         return cached
 
+    def transfer_groups(self) -> tuple[_AxisGroups, _AxisGroups]:
+        """The per-axis apply groups, publicly.
+
+        ``(row groups, column groups)``: each maps a ``(src coord, dst
+        coord)`` pair to its ``(source positions, destination positions)``
+        index arrays, in the deterministic enumeration order
+        :meth:`apply` routes in.  The MPI backend builds its per-message
+        payload selectors from exactly these groups, so what goes over
+        the wire is — pair for pair, element for element — what the
+        simulator routes.
+        """
+        return self._groups()
+
     def apply(
         self, blocks: Blocks, out: dict[int, np.ndarray] | None = None
     ) -> dict[int, np.ndarray]:
@@ -613,12 +647,38 @@ def routing_plan(src: End, dst: End, shape: tuple[int, int]) -> RoutingPlan:
 
 
 def plan_cache_stats() -> dict[str, int]:
-    """Lifetime hit/miss counters and current entry count (for tests)."""
+    """Lifetime hit/miss counters, entry count and current capacity."""
     return {
         "hits": _PLAN_CACHE_HITS,
         "misses": _PLAN_CACHE_MISSES,
         "entries": len(_PLAN_CACHE),
+        "capacity": _PLAN_CACHE_MAX,
     }
+
+
+def set_plan_cache_capacity(capacity: int) -> int:
+    """Resize the :func:`routing_plan` LRU; returns the previous capacity.
+
+    The cache is process-global (plans are pure index maps, shareable
+    across machines), so the capacity is too: sizing it to the working
+    set of distinct transitions — e.g. ``ClusterConfig.plan_cache_size``,
+    or the ``REPRO_PLAN_CACHE_SIZE`` environment override read at import
+    — trades memory for repeat-stream hit rate.  Shrinking evicts the
+    least recently used plans immediately; ``0`` keeps the cache
+    permanently empty (every call builds a fresh plan, hit/miss counters
+    still advance).
+    """
+    require(
+        int(capacity) >= 0,
+        ParameterError,
+        f"plan cache capacity must be >= 0, got {capacity}",
+    )
+    global _PLAN_CACHE_MAX
+    previous = _PLAN_CACHE_MAX
+    _PLAN_CACHE_MAX = int(capacity)
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return previous
 
 
 def clear_plan_cache() -> None:

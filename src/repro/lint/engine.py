@@ -116,6 +116,10 @@ class LintConfig:
     #: virtual-time-only modules: wall-clock reads are banned
     #: (wallclock-discipline; the online daemon is allowlisted)
     wallclock_modules: tuple[str, ...] = ("repro.sched", "repro.dist", "repro.api")
+    #: modules that must go through repro.backend for execution: direct
+    #: Machine construction and time.* reads are banned there
+    #: (backend-discipline; repro.backend and repro.machine are exempt)
+    backend_modules: tuple[str, ...] = ("repro",)
     #: path substrings skipped during collection (fixtures are linted by
     #: their golden tests, not by the repo-wide run)
     exclude: tuple[str, ...] = ("lint_fixtures",)
@@ -304,6 +308,7 @@ def load_config(pyproject: Path | None) -> LintConfig:
         ("int32-modules", "int32_modules"),
         ("slots-modules", "slots_modules"),
         ("wallclock-modules", "wallclock_modules"),
+        ("backend-modules", "backend_modules"),
         ("exclude", "exclude"),
     ):
         if toml_key in section:

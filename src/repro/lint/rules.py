@@ -1,4 +1,4 @@
-"""The replint rule catalogue: eight invariants of the cost model, as AST checks.
+"""The replint rule catalogue: nine invariants of the cost model, as AST checks.
 
 Every rule proves (a conservative approximation of) a property the
 reproduction's exactness depends on:
@@ -33,6 +33,11 @@ reproduction's exactness depends on:
   ``time.time()``/``time.monotonic()`` read there couples schedules to
   the host and breaks replay determinism.  Only the online daemon — the
   bridge from live arrivals to the simulated machine — is allowlisted.
+* ``backend-discipline`` — execution is the backend's business: outside
+  ``repro.backend``/``repro.machine``, library code must not construct a
+  ``Machine`` directly (``SimBackend().make_machine(...)`` instead) or
+  read the wall clock (``Backend.timer`` is the capability).  The MPI
+  backend and the daemon bridge are allowlisted in pyproject.
 
 Rules are project-level: each receives the full :class:`~repro.lint.engine.Project`
 so cross-file checks (the charge-soundness call-graph walk) and per-file
@@ -507,6 +512,86 @@ def check_wallclock_discipline(project: Project, config: LintConfig) -> list[Fin
 
 
 # ---------------------------------------------------------------------------
+# backend-discipline
+
+#: modules the rule never patrols: the backend package (it owns execution
+#: and the real clock) and the machine layer (it defines Machine)
+BACKEND_EXEMPT = ("repro.backend", "repro.machine")
+
+
+def check_backend_discipline(project: Project, config: LintConfig) -> list[Finding]:
+    """Execution goes through :mod:`repro.backend`, nowhere else.
+
+    Outside the backend package (and ``repro.machine``, which defines the
+    class), library code must not construct a ``Machine`` directly — a
+    machine built behind the backend's back executes plans no backend
+    sees, so its transitions can never be measured.  Real-clock reads are
+    flagged for the same reason wallclock-discipline flags them, but over
+    the *whole* ``repro`` tree: wall time is the backend's capability
+    (``Backend.timer``), not ambient authority.  Construct machines with
+    ``SimBackend().make_machine(...)`` (or the lazy ``machine.backend``
+    adoption) and read clocks through the backend.
+    """
+    out: list[Finding] = []
+    for src in project.in_modules(config.backend_modules):
+        if module_matches(src.module, BACKEND_EXEMPT):
+            continue
+        # wallclock-discipline already owns clock reads in its modules;
+        # re-flagging them here would double-report every finding.
+        clock_covered = module_matches(src.module, config.wallclock_modules)
+        quals = _qualnames(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call) and _call_name(node.func) == "Machine":
+                out.append(
+                    _finding(
+                        "backend-discipline",
+                        src,
+                        node,
+                        "direct `Machine(...)` construction bypasses the "
+                        "execution backend: use "
+                        "`SimBackend().make_machine(...)` (repro.backend)",
+                        quals[node],
+                    )
+                )
+                continue
+            if clock_covered:
+                continue
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [a.name for a in node.names if a.name in WALLCLOCK_FNS]
+                if bad:
+                    out.append(
+                        _finding(
+                            "backend-discipline",
+                            src,
+                            node,
+                            f"wall-clock import(s) {', '.join(bad)} from "
+                            "`time` outside repro.backend: wall time is the "
+                            "backend's capability (Backend.timer)",
+                            quals[node],
+                        )
+                    )
+                continue
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in WALLCLOCK_FNS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+            ):
+                out.append(
+                    _finding(
+                        "backend-discipline",
+                        src,
+                        node,
+                        f"wall-clock read `time.{node.attr}` outside "
+                        "repro.backend: wall time is the backend's "
+                        "capability (Backend.timer)",
+                        quals[node],
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 RULES: dict[str, Rule] = {
@@ -551,6 +636,11 @@ RULES: dict[str, Rule] = {
             "wallclock-discipline",
             "virtual-time layers (sched/dist/api) must not read the wall clock",
             check_wallclock_discipline,
+        ),
+        Rule(
+            "backend-discipline",
+            "Machine construction and time.* reads only inside repro.backend/repro.machine",
+            check_backend_discipline,
         ),
     )
 }

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import contextlib
 import math
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.machine.cost import Cost, CostParams
 from repro.machine.counters import CounterSet, TraceEvent
 from repro.machine.topology import ProcessorGrid
 from repro.machine.validate import GridError, require
+
+if TYPE_CHECKING:
+    from repro.backend.base import Backend
 
 
 class Machine:
@@ -46,6 +49,7 @@ class Machine:
         params: CostParams | None = None,
         trace: bool = False,
         collectives: str = "butterfly",
+        backend: "Backend | None" = None,
     ):
         require(n_ranks >= 1, GridError, f"need >= 1 rank, got {n_ranks}")
         self.n_ranks = int(n_ranks)
@@ -75,6 +79,30 @@ class Machine:
         #: across nesting: a charge counts toward every active region)
         self._region_acc: dict[str, np.ndarray] = {}
         self._next_rank = 0
+        #: the execution backend data movement routes through (see
+        #: repro.backend); None = a SimBackend is adopted on first use
+        self._backend: "Backend | None" = backend
+
+    @property
+    def backend(self) -> "Backend":
+        """The :class:`~repro.backend.Backend` executing this machine's plans.
+
+        Machines built directly (rather than through
+        :meth:`Backend.make_machine`) lazily adopt a fresh
+        :class:`~repro.backend.SimBackend` — the pre-backend behavior,
+        bit for bit — so no construction site is forced to name one.
+        """
+        if self._backend is None:
+            from repro.backend.sim import SimBackend
+
+            backend = SimBackend()
+            backend.adopt(self)
+            self._backend = backend
+        return self._backend
+
+    @backend.setter
+    def backend(self, backend: "Backend") -> None:
+        self._backend = backend
 
     # -- grid allocation ------------------------------------------------------
 

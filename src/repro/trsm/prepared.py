@@ -52,11 +52,14 @@ class PreparedTrsm:
         params: CostParams | None = None,
         n0: int | None = None,
         base_n: int = 8,
+        backend=None,
     ):
         """Run the Diagonal-Inverter for ``L`` on ``p`` simulated processors.
 
         ``k_hint`` is the expected right-hand-side count, used only for the
         a-priori parameter choice (Section VIII needs the shape ratio).
+        ``backend`` selects the execution backend for the preparation and
+        every subsequent :meth:`solve` (see :mod:`repro.backend`).
         """
         from repro.api import Cluster, InvRequest
 
@@ -72,6 +75,7 @@ class PreparedTrsm:
         self.params = params or CostParams()
         self.base_n = base_n
         self.k_hint = max(k_hint, 1)
+        self.backend = backend
 
         choice = tuned_parameters(self.n, self.k_hint, p)
         if n0 is not None:
@@ -88,7 +92,7 @@ class PreparedTrsm:
 
         # One-off preparation: a single diagonal-inversion request on its
         # own machine, pinned to the full grid.
-        cluster = Cluster(p, params=self.params)
+        cluster = Cluster(p, params=self.params, backend=self.backend)
         rid = cluster.submit(
             InvRequest(
                 L=self.L,
@@ -135,7 +139,7 @@ class PreparedTrsm:
         )
         B2 = Bv.reshape(self.n, -1)
 
-        cluster = Cluster(self.p, params=self.params)
+        cluster = Cluster(self.p, params=self.params, backend=self.backend)
         rid = cluster.submit(
             PreparedSolveRequest(prepared=self, B=B2, verify=verify, sizes=(self.p,))
         )

@@ -63,6 +63,7 @@ def trsm(
     n0: int | None = None,
     verify: bool = True,
     base_n: int = 8,
+    backend=None,
 ) -> TrsmResult:
     """Solve ``L X = B`` on a simulated ``p``-processor machine.
 
@@ -95,6 +96,10 @@ def trsm(
         Compute and store the relative residual.
     base_n:
         Redundant-inversion cutoff passed down to ``rec_tri_inv``.
+    backend:
+        Execution backend (``None``/``"sim"``/``"mpi"`` or a
+        :class:`~repro.backend.Backend`); values are identical across
+        backends, ``"mpi"`` adds measured Alltoallv transport.
     """
     from repro.api import Cluster, TrsmRequest
 
@@ -103,7 +108,7 @@ def trsm(
     vector = np.asarray(B).ndim == 1
     B2 = np.asarray(B, dtype=np.float64).reshape(L.shape[0], -1)
 
-    cluster = Cluster(p, params=params)
+    cluster = Cluster(p, params=params, backend=backend)
     rid = cluster.submit(
         TrsmRequest(
             L=L,

@@ -1,0 +1,14 @@
+# replint-fixture-module: repro.analysis.fixture_backend_bad
+"""Bad: analysis code building a Machine behind the backend's back."""
+
+import time
+from time import perf_counter  # noqa: F401
+
+from repro.machine.machine import Machine
+
+
+def simulate(p: int) -> float:
+    machine = Machine(p)
+    t0 = time.perf_counter()
+    machine.barrier()
+    return time.perf_counter() - t0

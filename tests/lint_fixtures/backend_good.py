@@ -1,0 +1,12 @@
+# replint-fixture-module: repro.analysis.fixture_backend_good
+"""Good: machines come from a backend; clocks are the backend's timer."""
+
+from repro.backend.sim import SimBackend
+
+
+def simulate(p: int) -> float:
+    backend = SimBackend()
+    machine = backend.make_machine(p)
+    t0 = backend.timer()
+    machine.barrier()
+    return backend.timer() - t0

@@ -153,6 +153,47 @@ class TestWallclockDiscipline:
         assert [f.rule for f in allowed] == []
 
 
+class TestBackendDiscipline:
+    def test_good(self):
+        """Machines from a backend, clocks through backend.timer: silent."""
+        assert lint_fixture("backend_good.py") == []
+
+    def test_bad(self):
+        """A bare Machine(p) plus three flavors of wall-clock read."""
+        assert lint_fixture("backend_bad.py") == [
+            ("backend-discipline", 5),
+            ("backend-discipline", 11),
+            ("backend-discipline", 12),
+            ("backend-discipline", 14),
+        ]
+
+    def test_backend_and_machine_packages_are_exempt(self, tmp_path):
+        """The packages that *implement* execution may build machines and
+        read real clocks — the rule is about everyone else."""
+        src = (
+            "# replint-fixture-module: repro.backend.fixture_impl\n"
+            "import time\n"
+            "from repro.machine.machine import Machine\n"
+            "\n"
+            "def make(p):\n"
+            "    t0 = time.perf_counter()\n"
+            "    return Machine(p), t0\n"
+        )
+        p = tmp_path / "impl.py"
+        p.write_text(src)
+        assert lint_paths([str(p)], config=LintConfig(exclude=())) == []
+
+    def test_selfcheck_timer_is_allowlisted_not_exempt(self):
+        """_check times the battery with the host clock; that is silenced by
+        the pyproject allowlist, not by weakening the rule."""
+        config = load_config(ROOT / "pyproject.toml")
+        selfcheck = ROOT / "src" / "repro" / "analysis" / "selfcheck.py"
+        raw = lint_paths([str(selfcheck)], config=LintConfig(exclude=()))
+        assert any(f.rule == "backend-discipline" for f in raw)
+        allowed = lint_paths([str(selfcheck)], config=config)
+        assert [f.rule for f in allowed] == []
+
+
 class TestEscapeHatch:
     def test_justified_suppression_silences(self):
         assert lint_fixture("suppress_good.py") == []
@@ -236,6 +277,7 @@ class TestEngine:
             "rng-discipline",
             "int32-accumulation",
             "wallclock-discipline",
+            "backend-discipline",
         }
 
 

@@ -216,6 +216,8 @@ class TestPlanCache:
     def test_clear_resets_stats(self):
         routing.clear_plan_cache()
         stats = routing.plan_cache_stats()
+        capacity = stats.pop("capacity")
+        assert capacity >= 0  # clearing resets counters, not the capacity
         assert stats == {"hits": 0, "misses": 0, "entries": 0}
 
     def test_cache_on_off_schedules_identical(self):
